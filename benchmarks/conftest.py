@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures on the
+simulated testbed, prints the same rows/series the paper reports, and
+asserts the *shape* claims (who wins, by roughly what factor, where the
+crossovers fall).  Absolute seconds are simulated and are not expected
+to match the paper's hardware.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+figure tables inline.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark.
+
+    The interesting output is the figure data (deterministic), not the
+    wall-clock of the simulator, so a single round suffices.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

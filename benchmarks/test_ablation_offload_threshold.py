@@ -1,0 +1,60 @@
+"""Ablation: inter-node offload aggressiveness (§4.7).
+
+Sweeps the load margin above which a saturated node redirects incoming
+connections to its peer.  A small margin balances eagerly; a huge margin
+effectively disables offloading.
+"""
+
+from repro.cluster.torque import TorqueMode
+from repro.core import RuntimeConfig
+from repro.experiments.harness import run_cluster_batch
+from repro.experiments.figures import CLUSTER_NODES
+from repro.experiments.report import format_table
+from repro.sim import RngStreams
+from repro.workloads import draw_short_jobs
+
+
+def run(margin: float, n_jobs: int = 32, seed: int = 3):
+    rng = RngStreams(seed).stream("jobs")
+    jobs = draw_short_jobs(rng, n_jobs)
+    return run_cluster_batch(
+        jobs,
+        CLUSTER_NODES,
+        RuntimeConfig(
+            vgpus_per_device=4, offload_enabled=True, offload_load_margin=margin
+        ),
+        mode=TorqueMode.OBLIVIOUS,
+    )
+
+
+def test_ablation_offload_threshold(once):
+    margins = [0.25, 0.5, 1.0, 2.0, 1e9]
+    results = once(lambda: {m: run(m) for m in margins})
+
+    print(
+        "\n== Ablation: offload load margin (32 short jobs, 3+1 GPU cluster) ==\n"
+        + format_table(
+            ["margin", "total (s)", "avg (s)", "offloaded"],
+            [
+                [
+                    f"{m:g}",
+                    f"{r.total_time:.1f}",
+                    f"{r.avg_time:.1f}",
+                    str(r.offloads),
+                ]
+                for m, r in results.items()
+            ],
+        )
+    )
+
+    for r in results.values():
+        assert r.errors == 0
+    # An infinite margin disables offloading entirely.
+    assert results[1e9].offloads == 0
+    # Eager margins offload a meaningful share of the small node's jobs.
+    assert results[0.25].offloads >= 4
+    # Offload volume is monotone non-increasing in the margin.
+    counts = [results[m].offloads for m in margins]
+    assert all(b <= a for a, b in zip(counts, counts[1:])), counts
+    # Any enabled offloading beats none on this imbalanced cluster.
+    assert results[0.5].total_time < results[1e9].total_time

@@ -1,0 +1,40 @@
+"""Figure 10: two-node cluster under TORQUE, short jobs (no memory
+conflicts), 32 and 48 jobs.
+
+Paper claims reproduced here:
+- GPU sharing (4 vGPUs) improves total time over serialized execution;
+- adding inter-node offloading improves it further (GPU-oblivious
+  TORQUE overloads the single-GPU node; offloading repairs it);
+- the same ordering holds for the average per-job time.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_figure
+
+SER = "serialized execution"
+SHARE = "GPU sharing (4 vGPUs)"
+LB = "GPU sharing + load balancing"
+
+
+def test_fig10_cluster_short(once):
+    result = once(figures.fig10_cluster_short, seed=0, repeats=1)
+    print("\n" + format_figure(result))
+
+    for xi, n in enumerate(result.x_values):
+        total_ser = result.series[SER][xi]
+        total_share = result.series[SHARE][xi]
+        total_lb = result.series[LB][xi]
+        # Ordering: serialized ≥ sharing > sharing+offloading.
+        assert total_share < total_ser, f"sharing did not help at {n} jobs"
+        assert total_lb < total_share, f"offloading did not help at {n} jobs"
+
+        avg_ser = result.avg_series[SER][xi]
+        avg_lb = result.avg_series[LB][xi]
+        assert avg_lb < avg_ser
+
+    # Sharing gains are in the "up to tens of percent" band, not noise.
+    gains = [
+        (result.series[SER][xi] - result.series[SHARE][xi]) / result.series[SER][xi]
+        for xi in range(len(result.x_values))
+    ]
+    assert max(gains) > 0.05

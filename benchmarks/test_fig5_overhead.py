@@ -1,0 +1,33 @@
+"""Figure 5: framework overhead vs the bare CUDA runtime (1 GPU).
+
+Paper claims reproduced here:
+- the bare CUDA runtime is (approximately) a lower bound;
+- the runtime's total time approaches that bound as vGPUs increase;
+- worst-case overhead (1 vGPU) is on the order of 10%.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_figure
+
+
+def test_fig5_overhead(once):
+    result = once(figures.fig5_overhead, seed=0, repeats=2)
+    print("\n" + format_figure(result))
+
+    bare = result.series["CUDA Runtime"]
+    one = result.series["1 vGPU"]
+    eight = result.series["8 vGPUs"]
+
+    for xi in range(len(result.x_values)):
+        # Our runtime never beats the bare runtime by more than the
+        # context-reuse saving, and is never more than ~15% slower.
+        overhead_1 = (one[xi] - bare[xi]) / bare[xi]
+        overhead_8 = (eight[xi] - bare[xi]) / bare[xi]
+        assert overhead_1 < 0.15, f"1 vGPU overhead {overhead_1:.1%} at x={xi}"
+        assert abs(overhead_8) < 0.05, f"8 vGPU overhead {overhead_8:.1%}"
+        # More sharing amortizes the overhead.
+        assert eight[xi] <= one[xi] * 1.01
+
+    # The worst case across the sweep is the paper's ~10% figure.
+    worst = max((o - b) / b for o, b in zip(one, bare))
+    assert 0.0 < worst < 0.15

@@ -1,0 +1,39 @@
+"""Figure 8: mixing GPU-intensive (BS-L) and CPU-phase-heavy (MM-L) jobs.
+
+36 jobs at BS-L/MM-L ratios from 100/0 to 0/100 on the 3-GPU node.
+
+Paper claims reproduced here:
+- at 100/0 (all BS-L, no memory conflicts) zero swaps occur and sharing
+  brings little or no benefit over serialized execution;
+- the sharing gain grows as MM-L becomes dominant;
+- swap counts grow along the same axis.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_figure
+
+
+def test_fig8_mix(once):
+    result = once(figures.fig8_mix, seed=0)
+    print("\n" + format_figure(result))
+
+    serialized = result.series["serialized execution (1 vGPU)"]
+    sharing = result.series["GPU sharing (4 vGPUs)"]
+    swaps = result.annotations["swaps (4 vGPUs)"]
+
+    # 100/0: GPU-intensive BS-L only — no memory conflicts, no swaps.
+    assert swaps[0] == 0
+    # Sharing brings almost nothing for pure BS-L (within 5%).
+    gain_bs_only = (serialized[0] - sharing[0]) / serialized[0]
+    assert abs(gain_bs_only) < 0.08
+
+    # Gains grow monotonically as MM-L dominates.
+    gains = [
+        (s - g) / s for s, g in zip(serialized, sharing)
+    ]
+    assert all(b >= a - 0.02 for a, b in zip(gains, gains[1:])), gains
+    # 0/100 reaches the Figure 7 regime: a large win.
+    assert gains[-1] > 0.35
+
+    # Swap counts grow with the MM-L share.
+    assert all(b >= a for a, b in zip(swaps, swaps[1:])), swaps

@@ -1,0 +1,69 @@
+"""Open-loop multi-tenancy: Poisson job arrivals on the 3-GPU node.
+
+The paper evaluates closed batches; a deployed multi-tenant service sees
+a stream of arrivals.  At an offered load near the serialized capacity,
+sharing cuts the mean response time sharply (queueing-theory territory:
+utilization ↓ at the bottleneck ⇒ waiting ↓ superlinearly).
+"""
+
+from repro.core import RuntimeConfig
+from repro.experiments.figures import NODE_3GPU
+from repro.experiments.harness import run_arrival_process
+from repro.experiments.report import format_table
+from repro.sim import RngStreams
+from repro.workloads.catalog import SHORT_RUNNING
+
+
+def run(vgpus: int, rate: float, seed: int = 9, horizon: float = 150.0):
+    rng = RngStreams(seed).stream("arrivals")
+    return run_arrival_process(
+        SHORT_RUNNING,
+        NODE_3GPU,
+        RuntimeConfig(vgpus_per_device=vgpus),
+        rng,
+        arrival_rate_per_s=rate,
+        horizon_s=horizon,
+    )
+
+
+def test_open_loop_sharing_cuts_response_time(once):
+    # Serialized capacity ≈ 0.76 jobs/s (each job holds its vGPU through
+    # CPU phases and copies); sharing overlaps those, pushing capacity to
+    # ≈ 0.85.  Offering 0.75 jobs/s puts serialized execution near
+    # saturation while sharing still has headroom.
+    rate = 0.75
+    serialized, shared = once(lambda: (run(1, rate), run(4, rate)))
+
+    print(
+        "\n== Open-loop arrivals: Poisson 0.75 jobs/s, 150 s, 3 GPUs ==\n"
+        + format_table(
+            ["config", "jobs served", "mean response (s)", "GPU util"],
+            [
+                [
+                    "serialized (1 vGPU)",
+                    str(len(serialized.job_times)),
+                    f"{serialized.avg_time:.1f}",
+                    f"{serialized.mean_gpu_utilization:.0%}",
+                ],
+                [
+                    "shared (4 vGPUs)",
+                    str(len(shared.job_times)),
+                    f"{shared.avg_time:.1f}",
+                    f"{shared.mean_gpu_utilization:.0%}",
+                ],
+            ],
+        )
+    )
+
+    assert serialized.errors == shared.errors == 0
+    # Same arrival sequence (same seed) → same jobs served.
+    assert len(serialized.job_times) == len(shared.job_times)
+    assert len(serialized.job_times) > 80
+    # Sharing reduces queueing: mean response drops by 20%+.
+    assert shared.avg_time < serialized.avg_time * 0.8
+    # The honest trade-off: time-sharing behaves like processor sharing —
+    # means improve, but individual jobs stretch, so the tail may grow.
+    p95 = lambda xs: sorted(xs)[int(0.95 * (len(xs) - 1))]
+    assert p95(shared.job_times) < 3 * p95(serialized.job_times)
+    # Sharing keeps the GPUs busier.
+    assert shared.mean_gpu_utilization > serialized.mean_gpu_utilization

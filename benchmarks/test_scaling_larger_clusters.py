@@ -1,0 +1,105 @@
+"""§7 future work, realized: larger clusters and multi-node applications.
+
+Two sweeps:
+
+1. strong scaling of one BSP application (fixed total work, 1–8 ranks on
+   1–8 nodes): speedup grows until the all-reduce dominates;
+2. a 96-job TORQUE batch over an 8-node cluster under the runtime —
+   throughput scales with node count.
+"""
+
+from repro.cluster import Cluster, Torque, TorqueMode
+from repro.cluster.node import ComputeNode
+from repro.core import RuntimeConfig
+from repro.experiments.report import format_table
+from repro.sim import Environment, RngStreams
+from repro.simcuda import TESLA_C2050
+from repro.workloads import draw_short_jobs
+from repro.workloads.multinode import MultiNodeSpec, run_multinode_application
+
+MIB = 1024**2
+
+TOTAL_KERNEL_SECONDS = 16.0  # fixed total work, divided among ranks
+ITERATIONS = 8
+
+
+def strong_scaling_point(ranks: int) -> float:
+    env = Environment()
+    nodes = [
+        ComputeNode(env, f"n{i}", [TESLA_C2050],
+                    runtime_config=RuntimeConfig(vgpus_per_device=2))
+        for i in range(ranks)
+    ]
+    for node in nodes:
+        env.process(node.start())
+    env.run(until=2.0)
+    spec = MultiNodeSpec(
+        name="scaling",
+        iterations=ITERATIONS,
+        shard_bytes=256 * MIB // ranks,
+        kernel_seconds=TOTAL_KERNEL_SECONDS / ITERATIONS / ranks,
+        halo_bytes=16 * MIB,
+    )
+    p = env.process(run_multinode_application(env, spec, nodes))
+    env.run(until=p)
+    start, end = p.value
+    return end - start
+
+
+def test_strong_scaling_multinode(once):
+    counts = [1, 2, 4, 8]
+    times = once(lambda: {n: strong_scaling_point(n) for n in counts})
+
+    speedups = {n: times[1] / times[n] for n in counts}
+    print(
+        "\n== Strong scaling: one BSP application, fixed total work ==\n"
+        + format_table(
+            ["ranks", "time (s)", "speedup"],
+            [[str(n), f"{times[n]:.1f}", f"{speedups[n]:.2f}×"] for n in counts],
+        )
+    )
+
+    # More ranks, less time — up to communication limits.
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    # Speedup is sublinear (the all-reduce is not free).
+    assert speedups[8] < 8.0
+    assert speedups[4] > 2.0  # but real
+
+
+def batch_throughput(n_nodes: int, n_jobs: int = 96) -> float:
+    env = Environment()
+    cluster = Cluster(env)
+    cfg = RuntimeConfig(vgpus_per_device=4, offload_enabled=True)
+    for i in range(n_nodes):
+        cluster.add_node(f"n{i}", [TESLA_C2050], runtime_config=cfg)
+    cluster.peer_runtimes()
+    env.process(cluster.start())
+    env.run(until=5.0)
+    rng = RngStreams(42).stream("jobs")
+    torque = Torque(env, cluster.nodes, mode=TorqueMode.OBLIVIOUS)
+    jobs = draw_short_jobs(rng, n_jobs)
+    p = env.process(torque.run_batch(jobs))
+    env.run(until=p)
+    env.run()
+    assert all(o.ok for o in torque.outcomes)
+    return torque.total_execution_time
+
+
+def test_batch_scaling_eight_nodes(once):
+    counts = [2, 4, 8]
+    times = once(lambda: {n: batch_throughput(n) for n in counts})
+
+    print(
+        "\n== Batch scaling: 96 short jobs, 1 GPU per node ==\n"
+        + format_table(
+            ["nodes", "total (s)", "vs 2 nodes"],
+            [
+                [str(n), f"{times[n]:.1f}", f"{times[2] / times[n]:.2f}×"]
+                for n in counts
+            ],
+        )
+    )
+
+    assert times[4] < times[2] * 0.7
+    assert times[8] < times[4] * 0.8

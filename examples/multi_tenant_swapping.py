@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Multi-tenancy with conflicting memory requirements.
+
+Reproduces the paper's §4.5 scenarios on one GPU:
+
+1. *Intra-application swap* — a program whose three matrices exceed the
+   device memory (the bare CUDA runtime fails at the third cudaMalloc)
+   completes under the runtime because only the current kernel's working
+   set must be resident.
+2. *Inter-application swap* — two tenants whose aggregate footprint
+   exceeds the device time-share it: when one tenant's launch cannot get
+   memory, the other (sitting in a CPU phase) is swapped out to host.
+
+Run:  python examples/multi_tenant_swapping.py
+"""
+
+from repro.sim import Environment
+from repro.simcuda import (
+    CudaDriver,
+    CudaRuntimeAPI,
+    CudaRuntimeError,
+    FatBinary,
+    GPUSpec,
+    KernelDescriptor,
+)
+from repro.core import Frontend, NodeRuntime, RuntimeConfig
+
+MIB = 1024**2
+
+# A 1 GiB card makes the memory pressure easy to see.
+GPU = GPUSpec(name="DemoGPU", sm_count=14, cores_per_sm=32, clock_ghz=1.15,
+              memory_bytes=1024 * MIB)
+MATRIX = 350 * MIB  # three matrices > usable device memory
+
+
+def kernel(name, seconds=0.2):
+    return KernelDescriptor(name=name, flops=seconds * GPU.effective_gflops * 1e9)
+
+
+def part1_bare_cuda_fails(env, driver):
+    """The same allocation sequence on the bare CUDA runtime: OOM."""
+    api = CudaRuntimeAPI(driver, owner="bare")
+
+    def app():
+        yield from api.cuda_malloc(MATRIX)
+        yield from api.cuda_malloc(MATRIX)
+        try:
+            yield from api.cuda_malloc(MATRIX)
+        except CudaRuntimeError as exc:
+            print(f"[bare CUDA]  third cudaMalloc fails as expected: {exc}")
+        yield from api.cuda_thread_exit()
+
+    proc = env.process(app())
+    env.run(until=proc)
+
+
+def oversized_tenant(env, runtime, name):
+    """A_d, B_d, C_d of 350 MiB each on a ~1 GiB card (§4.5 example)."""
+    fe = Frontend(env, runtime.listener, name=name)
+    yield from fe.open()
+    matmul = kernel(f"{name}.matmul")
+    fb = FatBinary()
+    handle = yield from fe.register_fat_binary(fb)
+    yield from fe.register_function(handle, matmul)
+
+    a = yield from fe.cuda_malloc(MATRIX)
+    b = yield from fe.cuda_malloc(MATRIX)
+    c = yield from fe.cuda_malloc(MATRIX)
+    yield from fe.cuda_memcpy_h2d(a, MATRIX)
+    yield from fe.launch_kernel(matmul, [a, b], read_only=[a])  # B = A*A
+    yield from fe.launch_kernel(matmul, [b, c], read_only=[b])  # C = B*B
+    yield from fe.cuda_memcpy_d2h(b, MATRIX)
+    yield from fe.cuda_memcpy_d2h(c, MATRIX)
+    for ptr in (a, b, c):
+        yield from fe.cuda_free(ptr)
+    yield from fe.cuda_thread_exit()
+    print(f"[{env.now:7.3f}s] {name}: completed (footprint 3×350 MiB on a 1 GiB card)")
+
+
+def phased_tenant(env, runtime, name):
+    """A tenant alternating GPU kernels with CPU phases — an eligible
+    inter-application swap victim while it thinks on the CPU."""
+    fe = Frontend(env, runtime.listener, name=name)
+    yield from fe.open()
+    k = kernel(f"{name}.kernel")
+    fb = FatBinary()
+    handle = yield from fe.register_fat_binary(fb)
+    yield from fe.register_function(handle, k)
+    data = yield from fe.cuda_malloc(500 * MIB)
+    yield from fe.cuda_memcpy_h2d(data, 500 * MIB)
+    for _ in range(4):
+        yield from fe.launch_kernel(k, [data])
+        yield env.timeout(1.0)  # CPU phase
+    yield from fe.cuda_memcpy_d2h(data, 500 * MIB)
+    yield from fe.cuda_free(data)
+    yield from fe.cuda_thread_exit()
+    print(f"[{env.now:7.3f}s] {name}: completed")
+
+
+def main():
+    print("=== Part 1: bare CUDA runtime, one oversized application ===")
+    env = Environment()
+    driver = CudaDriver(env, [GPU])
+    part1_bare_cuda_fails(env, driver)
+
+    print("\n=== Part 2: the runtime's intra-application swap ===")
+    env = Environment()
+    runtime = NodeRuntime(env, CudaDriver(env, [GPU]),
+                          RuntimeConfig(vgpus_per_device=1))
+    env.process(runtime.start())
+    env.process(oversized_tenant(env, runtime, "oversized"))
+    env.run()
+    print(f"intra-application swaps: {runtime.stats.swaps_intra}")
+
+    print("\n=== Part 3: two tenants, inter-application swap ===")
+    env = Environment()
+    runtime = NodeRuntime(env, CudaDriver(env, [GPU]),
+                          RuntimeConfig(vgpus_per_device=2))
+    env.process(runtime.start())
+    env.process(phased_tenant(env, runtime, "tenant-1"))
+    env.process(phased_tenant(env, runtime, "tenant-2"))
+    env.run()
+    s = runtime.stats
+    print(f"inter-application swaps: {s.swaps_inter}  "
+          f"(bytes out {s.swap_bytes_out / MIB:.0f} MiB, "
+          f"back in {s.swap_bytes_in / MIB:.0f} MiB)")
+
+
+if __name__ == "__main__":
+    main()

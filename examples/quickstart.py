@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: share one GPU between two applications.
+
+Boots the paper's runtime on a single-GPU node and runs two CUDA
+applications concurrently through the intercept library.  With two
+virtual GPUs, the applications time-share the device: one computes while
+the other is in a CPU phase.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.sim import Environment
+from repro.simcuda import CudaDriver, FatBinary, KernelDescriptor, TESLA_C2050
+from repro.core import Frontend, NodeRuntime, RuntimeConfig
+
+MIB = 1024**2
+
+
+def application(env, runtime, name, kernel_seconds, cpu_seconds):
+    """A typical GPU application: allocate → upload → (kernel, CPU think,
+    repeat) → download → free."""
+    frontend = Frontend(env, runtime.listener, name=name)
+    yield from frontend.open()
+
+    # Host startup code registers the device binary and its kernels.
+    fatbin = FatBinary()
+    kernel = KernelDescriptor(
+        name=f"{name}.kernel",
+        flops=kernel_seconds * TESLA_C2050.effective_gflops * 1e9,
+    )
+    handle = yield from frontend.register_fat_binary(fatbin)
+    yield from frontend.register_function(handle, kernel)
+
+    data = yield from frontend.cuda_malloc(256 * MIB)  # a *virtual* pointer
+    yield from frontend.cuda_memcpy_h2d(data, 256 * MIB)
+
+    for phase in range(3):
+        yield from frontend.launch_kernel(kernel, [data])
+        print(f"[{env.now:7.3f}s] {name}: GPU phase {phase} done")
+        yield env.timeout(cpu_seconds)  # CPU phase (post-processing)
+
+    yield from frontend.cuda_memcpy_d2h(data, 256 * MIB)
+    yield from frontend.cuda_free(data)
+    yield from frontend.cuda_thread_exit()
+    print(f"[{env.now:7.3f}s] {name}: finished")
+
+
+def main():
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050])
+    runtime = NodeRuntime(env, driver, RuntimeConfig(vgpus_per_device=2))
+    env.process(runtime.start())
+
+    env.process(application(env, runtime, "app-A", kernel_seconds=1.0, cpu_seconds=1.0))
+    env.process(application(env, runtime, "app-B", kernel_seconds=1.0, cpu_seconds=1.0))
+    env.run()
+
+    stats = runtime.stats
+    print("\n--- runtime statistics ---")
+    print(f"connections: {stats.connections_accepted}")
+    print(f"calls served: {stats.calls_served}")
+    print(f"kernels launched: {stats.kernels_launched}")
+    print(f"bindings/unbindings: {stats.bindings}/{stats.unbindings}")
+    busy = driver.devices[0].busy_seconds
+    print(f"GPU busy: {busy:.2f}s of {env.now:.2f}s ({busy / env.now:.0%} utilization)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — reproduction of Becchi et al., "A Virtual Memory Based Runtime
+to Support Multi-tenancy in Clusters with GPUs" (HPDC 2012).
+
+Layout
+------
+- :mod:`repro.sim`       discrete-event simulation kernel
+- :mod:`repro.simcuda`   simulated CUDA driver/runtime + GPU hardware models
+- :mod:`repro.net`       simulated sockets / channels
+- :mod:`repro.cluster`   nodes, cluster, TORQUE-like batch scheduler
+- :mod:`repro.core`      the paper's runtime (dispatcher, vGPUs, memory
+  manager with GPU virtual memory, swap, dynamic binding, fault tolerance,
+  offloading)
+- :mod:`repro.workloads` Table 2 benchmark application models
+- :mod:`repro.experiments` drivers reproducing every figure of §5
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli devices                 # GPU hardware presets
+    python -m repro.cli catalog                 # Table 2 benchmark list
+    python -m repro.cli run --jobs MM-L:6 ...   # run a batch on one node
+    python -m repro.cli reproduce [figN ...]    # regenerate paper figures
+
+``run`` builds a single simulated node, executes the requested job mix
+through the runtime (or the bare CUDA runtime with ``--bare``) and prints
+the batch metrics plus the runtime statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.core.config import RuntimeConfig
+from repro.experiments.harness import run_node_batch
+from repro.experiments.report import format_table
+from repro.simcuda.device import GPUSpec, INTEL_MIC, QUADRO_2000, TESLA_C1060, TESLA_C2050
+from repro.workloads import ALL_WORKLOADS, make_job, workload
+
+__all__ = ["main"]
+
+GPU_PRESETS: Dict[str, GPUSpec] = {
+    "c2050": TESLA_C2050,
+    "c1060": TESLA_C1060,
+    "quadro2000": QUADRO_2000,
+    "mic": INTEL_MIC,
+}
+
+
+def _parse_gpus(text: str) -> List[GPUSpec]:
+    specs = []
+    for token in text.split(","):
+        token = token.strip().lower()
+        if token not in GPU_PRESETS:
+            raise argparse.ArgumentTypeError(
+                f"unknown GPU {token!r}; choose from {sorted(GPU_PRESETS)}"
+            )
+        specs.append(GPU_PRESETS[token])
+    return specs
+
+
+def _parse_jobs(tokens: List[str], cpu_fraction: float, use_runtime: bool = True):
+    jobs = []
+    for token in tokens:
+        if ":" in token:
+            tag, count = token.split(":", 1)
+            count = int(count)
+        else:
+            tag, count = token, 1
+        spec = workload(tag)
+        if cpu_fraction and spec.tag in ("MM-S", "MM-L"):
+            spec = spec.with_cpu_fraction(cpu_fraction)
+        for i in range(count):
+            jobs.append(
+                make_job(
+                    spec,
+                    name=f"{spec.tag}#{len(jobs)}",
+                    use_runtime=use_runtime,
+                    static_device=len(jobs) if not use_runtime else None,
+                )
+            )
+    return jobs
+
+
+def cmd_devices(_args) -> int:
+    rows = [
+        [
+            name,
+            spec.name,
+            str(spec.sm_count),
+            str(spec.core_count),
+            f"{spec.clock_ghz:.2f}",
+            f"{spec.memory_bytes / 1024**3:.0f}",
+            f"{spec.effective_gflops:.0f}",
+        ]
+        for name, spec in GPU_PRESETS.items()
+    ]
+    print(format_table(
+        ["preset", "card", "SMs", "cores", "GHz", "GiB", "eff GFLOPS"], rows
+    ))
+    return 0
+
+
+def cmd_catalog(_args) -> int:
+    rows = [
+        [
+            spec.tag,
+            spec.name,
+            str(spec.kernel_calls),
+            f"{spec.gpu_seconds_c2050:.1f}",
+            f"{spec.total_bytes / 1024**2:.0f}",
+            "long" if spec.long_running else "short",
+        ]
+        for spec in ALL_WORKLOADS
+    ]
+    print(format_table(
+        ["tag", "program", "kernel calls", "GPU s (C2050)", "MiB", "class"], rows
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    jobs = _parse_jobs(args.jobs, args.cpu_fraction, use_runtime=not args.bare)
+    if not jobs:
+        print("no jobs requested", file=sys.stderr)
+        return 2
+    if args.bare:
+        config = None
+    else:
+        config = RuntimeConfig(
+            vgpus_per_device=args.vgpus,
+            policy=args.policy,
+            migration_enabled=args.migration,
+            kernel_consolidation=args.consolidation,
+            defer_transfers=not args.eager_transfers,
+        )
+    result = run_node_batch(jobs, args.gpus, config, label="cli")
+    print(f"jobs: {len(jobs)}   gpus: {len(args.gpus)}   "
+          f"mode: {'bare CUDA' if args.bare else f'{args.vgpus} vGPUs/{args.policy}'}")
+    print(f"total time : {result.total_time:10.2f} simulated s")
+    print(f"avg time   : {result.avg_time:10.2f} simulated s")
+    print(f"errors     : {result.errors}")
+    if result.stats:
+        interesting = {
+            k: v for k, v in sorted(result.stats.items()) if v and k != "calls_served"
+        }
+        print("runtime stats:")
+        for key, value in interesting.items():
+            print(f"  {key:24s} {value}")
+    return 0 if result.errors == 0 else 1
+
+
+def cmd_reproduce(args) -> int:
+    from repro.experiments.reproduce import main as reproduce_main
+
+    argv = list(args.figures)
+    if args.quick:
+        argv.append("--quick")
+    argv += ["--seed", str(args.seed)]
+    return reproduce_main(argv)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list GPU hardware presets").set_defaults(
+        func=cmd_devices
+    )
+    sub.add_parser("catalog", help="list the Table 2 benchmarks").set_defaults(
+        func=cmd_catalog
+    )
+
+    run = sub.add_parser("run", help="run a job batch on one simulated node")
+    run.add_argument("--jobs", nargs="+", required=True, metavar="TAG[:N]",
+                     help="e.g. MM-L:6 BS-L:2 HS")
+    run.add_argument("--gpus", type=_parse_gpus, default=[TESLA_C2050],
+                     help="comma list of presets (default: c2050)")
+    run.add_argument("--vgpus", type=int, default=4)
+    run.add_argument("--policy", default="fcfs",
+                     choices=("fcfs", "sjf", "credit", "edf"))
+    run.add_argument("--cpu-fraction", type=float, default=0.0,
+                     help="injected CPU fraction for MM-S/MM-L")
+    run.add_argument("--bare", action="store_true",
+                     help="bare CUDA runtime instead of the paper's runtime")
+    run.add_argument("--migration", action="store_true")
+    run.add_argument("--consolidation", action="store_true")
+    run.add_argument("--eager-transfers", action="store_true",
+                     help="disable transfer deferral")
+    run.set_defaults(func=cmd_run)
+
+    rep = sub.add_parser("reproduce", help="regenerate the paper's figures")
+    rep.add_argument("figures", nargs="*", default=[])
+    rep.add_argument("--quick", action="store_true")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.set_defaults(func=cmd_reproduce)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Cluster substrate: compute nodes, jobs, and a TORQUE-like batch
+scheduler (paper §2, §5.4).
+
+The cluster-level scheduler performs *coarse-grained* scheduling (jobs →
+nodes); the node-level runtime performs *fine-grained* scheduling
+(library calls → GPUs).  Two integration modes from the paper:
+
+- **native**: TORQUE is GPU-aware and serializes — a job is submitted to
+  a compute node only when one of its GPUs is free (the bare-CUDA
+  baseline of §5.4);
+- **oblivious**: the GPUs are hidden from TORQUE, which divides the
+  workload equally among the nodes and submits immediately; GPU sharing
+  and load balancing happen inside the paper's runtime.
+"""
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.jobs import Job, JobOutcome
+from repro.cluster.cluster import Cluster
+from repro.cluster.torque import Torque, TorqueMode
+from repro.cluster.vmcloud import CloudManager, VirtualMachine, VMSpec
+
+__all__ = [
+    "CloudManager",
+    "Cluster",
+    "ComputeNode",
+    "Job",
+    "JobOutcome",
+    "Torque",
+    "TorqueMode",
+    "VirtualMachine",
+    "VMSpec",
+]

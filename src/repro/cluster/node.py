@@ -1,0 +1,65 @@
+"""Compute nodes.
+
+A node bundles CPUs (a ``Resource`` with one slot per hardware thread),
+GPUs (a :class:`~repro.simcuda.driver.CudaDriver`), and optionally the
+paper's runtime daemon.  The testbed nodes (§5.1) have dual quad-core
+Xeon E5620s (16 hardware threads) and 48 GB of memory.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.sim import Environment, Resource
+from repro.simcuda.device import GPUSpec
+from repro.simcuda.driver import CudaDriver
+
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import NodeRuntime
+
+__all__ = ["ComputeNode"]
+
+
+class ComputeNode:
+    """One cluster node: CPUs + GPUs (+ optionally the runtime daemon)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        gpu_specs: List[GPUSpec],
+        cpu_threads: int = 16,
+        runtime_config: Optional[RuntimeConfig] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.cpu = Resource(env, capacity=cpu_threads)
+        self.driver = CudaDriver(env, gpu_specs)
+        self.runtime: Optional[NodeRuntime] = None
+        if runtime_config is not None:
+            self.runtime = NodeRuntime(env, self.driver, runtime_config, name=f"{name}-rt")
+
+    def start(self) -> Generator:
+        """Boot the node (starts the runtime daemon when configured)."""
+        if self.runtime is not None:
+            yield from self.runtime.start()
+
+    # ------------------------------------------------------------------
+    def cpu_phase(self, seconds: float) -> Generator:
+        """Run a CPU phase: occupy one hardware thread for ``seconds``.
+
+        Under multi-tenancy the threads are a real resource — queueing
+        here models CPU contention among concurrent jobs.
+        """
+        if seconds <= 0:
+            return
+        with self.cpu.request() as req:
+            yield req
+            yield self.env.timeout(seconds)
+
+    @property
+    def gpu_count(self) -> int:
+        return self.driver.device_count()
+
+    def __repr__(self) -> str:
+        return f"<ComputeNode {self.name} gpus={self.gpu_count} cpus={self.cpu.capacity}>"

@@ -1,0 +1,164 @@
+"""VM-based cloud deployment (paper Figure 2a, §2).
+
+The paper's first deployment scenario: a VM-based cloud computing
+service (Eucalyptus-like).  Virtual machines run on the compute nodes;
+CUDA applications inside the guests link the intercept library, which
+reaches the host-side runtime daemon over *VM sockets* (the gVirtuS
+virtualized transport) instead of afunix — same protocol, higher
+per-message cost.
+
+Components:
+
+- :class:`VMSpec` / :class:`VirtualMachine` — guest descriptions and
+  instances; each VM has its own vCPUs (backed by host cores) and hosts
+  guest applications;
+- :class:`CloudManager` — the cluster-level scheduler of Figure 2a: it
+  places VMs on nodes by first-fit over vCPU capacity, oblivious to the
+  GPUs (which only the node runtimes manage).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Generator, List, Optional
+
+from repro.net.channel import LinkSpec
+from repro.sim import Environment, Resource
+
+from repro.cluster.node import ComputeNode
+from repro.core.frontend import Frontend
+
+__all__ = ["VMSpec", "VirtualMachine", "CloudManager", "VM_SOCKET_LINK"]
+
+#: gVirtuS "proprietary VM-sockets": the guest/host hop costs noticeably
+#: more per message than afunix and sustains less bandwidth.
+VM_SOCKET_LINK = LinkSpec(
+    name="vmsocket", latency_s=10e-6, bandwidth_bps=2.0e9, per_message_overhead_s=25e-6
+)
+
+_vm_seq = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class VMSpec:
+    """Requested guest shape."""
+
+    name: str
+    vcpus: int = 2
+    memory_bytes: int = 4 * 1024**3
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("a VM needs at least one vCPU")
+
+
+class VirtualMachine:
+    """A booted guest on one compute node."""
+
+    def __init__(self, env: Environment, spec: VMSpec, node: ComputeNode):
+        self.env = env
+        self.spec = spec
+        self.node = node
+        self.vm_id = next(_vm_seq)
+        #: Guest-visible CPUs.  Each vCPU burn also occupies a host core,
+        #: so guests contend both among their own threads and with other
+        #: VMs on the node.
+        self.vcpus = Resource(env, capacity=spec.vcpus)
+        self.running = False
+
+    def boot(self) -> Generator:
+        """Guest boot (costs simulated time, as VM provisioning does)."""
+        yield self.env.timeout(2.0)
+        self.running = True
+
+    def shutdown(self) -> None:
+        self.running = False
+
+    # ------------------------------------------------------------------
+    def cpu_phase(self, seconds: float) -> Generator:
+        """A guest CPU phase: one vCPU + one host core for ``seconds``."""
+        if seconds <= 0:
+            return
+        if not self.running:
+            raise RuntimeError(f"{self.spec.name} is not running")
+        with self.vcpus.request() as vreq:
+            yield vreq
+            yield from self.node.cpu_phase(seconds)
+
+    def frontend(
+        self,
+        name: str,
+        estimated_gpu_seconds: Optional[float] = None,
+        application_id: Optional[str] = None,
+    ) -> Frontend:
+        """An intercept-library endpoint for a guest application thread.
+
+        Uses the VM-socket link to the *host* runtime daemon — the guest
+        never sees the GPUs directly (Figure 2a).
+        """
+        if not self.running:
+            raise RuntimeError(f"{self.spec.name} is not running")
+        if self.node.runtime is None:
+            raise RuntimeError(f"{self.node.name} runs no runtime daemon")
+        return Frontend(
+            self.env,
+            self.node.runtime.listener,
+            link=VM_SOCKET_LINK,
+            name=f"{self.spec.name}/{name}",
+            estimated_gpu_seconds=estimated_gpu_seconds,
+            application_id=application_id,
+        )
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"<VirtualMachine {self.spec.name} on {self.node.name} {state}>"
+
+
+class CloudManager:
+    """Eucalyptus-like VM placement over the compute nodes."""
+
+    def __init__(self, env: Environment, nodes: List[ComputeNode]):
+        if not nodes:
+            raise ValueError("the cloud needs at least one node")
+        self.env = env
+        self.nodes = nodes
+        self.vms: List[VirtualMachine] = []
+        #: vCPUs already promised per node (no overcommit by default).
+        self._committed = {node.name: 0 for node in nodes}
+        self.overcommit_factor = 1.0
+
+    def capacity(self, node: ComputeNode) -> int:
+        return int(node.cpu.capacity * self.overcommit_factor)
+
+    def launch_vm(self, spec: VMSpec) -> Generator:
+        """Place and boot a VM; returns the instance.
+
+        Raises :class:`RuntimeError` when no node has enough free vCPUs
+        (the "rent more hardware" point of the paper's hybrid-cloud
+        discussion).
+        """
+        node = self._place(spec)
+        if node is None:
+            raise RuntimeError(
+                f"no capacity for {spec.name} ({spec.vcpus} vCPUs)"
+            )
+        self._committed[node.name] += spec.vcpus
+        vm = VirtualMachine(self.env, spec, node)
+        self.vms.append(vm)
+        yield from vm.boot()
+        return vm
+
+    def terminate_vm(self, vm: VirtualMachine) -> None:
+        vm.shutdown()
+        self.vms.remove(vm)
+        self._committed[vm.node.name] -= vm.spec.vcpus
+
+    def _place(self, spec: VMSpec) -> Optional[ComputeNode]:
+        for node in self.nodes:  # first-fit
+            if self._committed[node.name] + spec.vcpus <= self.capacity(node):
+                return node
+        return None
+
+    def vms_on(self, node: ComputeNode) -> List[VirtualMachine]:
+        return [vm for vm in self.vms if vm.node is node]

@@ -1,0 +1,39 @@
+"""The paper's runtime: GPU abstraction, sharing, isolation and virtual
+memory for multi-tenant heterogeneous nodes.
+
+Composition (paper Figure 3):
+
+- :class:`~repro.core.runtime.NodeRuntime` — the per-node daemon wiring
+  everything together.
+- :class:`~repro.core.connection.ConnectionManager` — accepts and enqueues
+  application connections.
+- :class:`~repro.core.dispatcher.Dispatcher` — schedules intercepted CUDA
+  calls onto virtual GPUs; handles registration/device-management calls
+  before binding; recovers failed contexts.
+- :class:`~repro.core.vgpu.VirtualGPU` — worker bound to a physical GPU;
+  one application thread at a time.
+- :class:`~repro.core.memory.manager.MemoryManager` — virtual memory for
+  GPUs: page table, host swap area, transfer deferral, intra-/inter-
+  application swapping.
+- :mod:`repro.core.policies` — pluggable scheduling policies.
+- :mod:`repro.core.migration` — dynamic binding / slow→fast migration.
+- :mod:`repro.core.offload` — inter-node offloading of pending
+  connections.
+- :class:`~repro.core.frontend.Frontend` — the client-side intercept
+  library applications link against.
+"""
+
+from repro.core.config import RuntimeConfig
+from repro.core.context import Context, ContextState
+from repro.core.runtime import NodeRuntime
+from repro.core.frontend import Frontend
+from repro.core.errors import RuntimeApiError
+
+__all__ = [
+    "Context",
+    "ContextState",
+    "Frontend",
+    "NodeRuntime",
+    "RuntimeApiError",
+    "RuntimeConfig",
+]

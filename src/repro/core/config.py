@@ -1,0 +1,116 @@
+"""Runtime configuration.
+
+Defaults match the configuration the paper uses for its headline results:
+four vGPUs per device (§5.3.2 "four vGPUs per device provide a good
+compromise"), FCFS round-robin scheduling with vGPU-count load balancing,
+and full data-transfer deferral (§5 "the runtime is configured to defer
+all data transfers").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+__all__ = ["RuntimeConfig"]
+
+
+@dataclasses.dataclass
+class RuntimeConfig:
+    """Knobs of :class:`~repro.core.runtime.NodeRuntime`.
+
+    Attributes
+    ----------
+    vgpus_per_device:
+        Degree of time-sharing per physical GPU.  ``1`` serializes jobs
+        (the paper's "serialized execution" baseline configuration).
+    defer_transfers:
+        When True (paper default), host→device transfers are postponed to
+        the next kernel launch that references the data; multiple copies
+        into one allocation coalesce into a single bulk transfer.  When
+        False, transfers are issued immediately once the context is bound
+        (computation/communication overlap at the cost of more swap
+        traffic).
+    policy:
+        Scheduling policy name registered in :mod:`repro.core.policies`
+        ("fcfs", "sjf", "credit").
+    enable_intra_swap / enable_inter_swap:
+        The two memory-swapping modes of §4.5.
+    swap_retry_backoff_s:
+        Initial wait before a context that failed to obtain device memory
+        (and found no swap victim) retries after unbinding.  Consecutive
+        failures back off exponentially up to ``swap_retry_max_backoff_s``;
+        any device-memory release wakes waiters immediately.
+    migration_enabled:
+        Dynamic binding from slower to faster GPUs when the latter become
+        idle and no pending jobs exist (§5.3.4).
+    migration_min_speedup:
+        Only migrate when the destination device is at least this many
+        times faster than the source.
+    offload_enabled:
+        Allow redirecting pending connections to peer nodes (§4.7).
+    offload_load_margin:
+        Offload a new connection when the local per-vGPU load exceeds the
+        best peer's by more than this margin.
+    checkpoint_kernel_seconds:
+        When set, automatically checkpoint (write dirty data back to the
+        swap area) after any kernel whose execution exceeded this many
+        seconds — the §4.6 automatic checkpoint that bounds the replay
+        penalty after GPU failures.
+    unbind_on_cpu_phase_s:
+        When set, a context sitting in a CPU phase for longer than this
+        while others wait for a vGPU is unbound (swap-out) so the vGPU can
+        be reassigned.  Off by default; exercised by the ablation benches.
+    kernel_consolidation:
+        Enable space-sharing of a device by kernels with partial SM demand
+        (the Ravi et al. kernel-consolidation integration the paper's §6
+        describes as enabled by delayed binding and transfer deferral).
+    cuda4_semantics:
+        CUDA 4.0 compatibility (paper §4.8): application threads carry an
+        application identifier; threads of the same application are bound
+        to the same device (they share data on the GPU), and dynamic
+        binding uses direct GPU-to-GPU transfers instead of staging
+        through host memory.
+    dispatcher_overhead_s:
+        Per-call software cost of interception/dispatch inside the
+        runtime daemon.
+    max_failed_rebind_attempts:
+        How many times a failed context is rebound to another device
+        before the error is propagated to the application.
+    """
+
+    vgpus_per_device: int = 4
+    defer_transfers: bool = True
+    policy: str = "fcfs"
+    enable_intra_swap: bool = True
+    enable_inter_swap: bool = True
+    swap_retry_backoff_s: float = 2e-3
+    swap_retry_max_backoff_s: float = 1.0
+    migration_enabled: bool = False
+    migration_min_speedup: float = 1.25
+    offload_enabled: bool = False
+    offload_load_margin: float = 0.5
+    checkpoint_kernel_seconds: Optional[float] = None
+    unbind_on_cpu_phase_s: Optional[float] = None
+    cuda4_semantics: bool = False
+    kernel_consolidation: bool = False
+    dispatcher_overhead_s: float = 30e-6
+    max_failed_rebind_attempts: int = 3
+    #: The paper's nodes have 48 GB of host memory (§5.1); the swap area
+    #: may use essentially all of it.
+    host_swap_capacity_bytes: int = 46 * 1024**3
+    host_memcpy_bps: float = 8e9
+
+    def __post_init__(self) -> None:
+        if self.vgpus_per_device < 1:
+            raise ValueError("vgpus_per_device must be >= 1")
+        if self.policy not in ("fcfs", "sjf", "credit", "edf"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.swap_retry_backoff_s < 0:
+            raise ValueError("swap_retry_backoff_s must be >= 0")
+        if self.max_failed_rebind_attempts < 0:
+            raise ValueError("max_failed_rebind_attempts must be >= 0")
+
+    def serialized(self) -> "RuntimeConfig":
+        """A copy configured for serialized execution (1 vGPU/device)."""
+        return dataclasses.replace(self, vgpus_per_device=1)

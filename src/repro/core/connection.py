@@ -1,0 +1,48 @@
+"""Connection manager (paper §4.2).
+
+The frontend library opens a separate connection for each application
+thread, preserving the CUDA 3.2 one-context-per-thread semantics.  The
+connection manager accepts incoming connections and enqueues them on the
+pending-connections list, from which dispatcher threads (and the
+inter-node offloader) dequeue them.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim import Environment, FifoQueue
+from repro.net.socket import Listener, Socket
+
+__all__ = ["ConnectionManager"]
+
+
+class ConnectionManager:
+    """Accepts connections and maintains the pending-connections list."""
+
+    def __init__(self, env: Environment, name: str = "runtime"):
+        self.env = env
+        self.listener = Listener(env, name=name)
+        #: Pending connections (server-side sockets) awaiting a
+        #: dispatcher thread.
+        self.pending: FifoQueue = FifoQueue(env)
+        self._accepting = False
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+    def start(self) -> None:
+        """Begin accepting (idempotent)."""
+        if not self._accepting:
+            self._accepting = True
+            self.env.process(self._accept_loop(), name=f"connmgr-{self.listener.name}")
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            sock: Socket = yield self.listener.accept()
+            self.pending.put(sock)
+
+    def next_connection(self):
+        """Event for the next pending connection (dispatcher side)."""
+        return self.pending.get()

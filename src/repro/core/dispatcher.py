@@ -1,0 +1,349 @@
+"""The dispatcher (paper §4.3).
+
+Dispatcher threads dequeue pending connections and serve their calls:
+
+1. registration functions are issued to the CUDA runtime immediately —
+   they always precede context creation, so they are safe to service
+   before any application-to-GPU binding exists;
+2. device-management functions are serviced and typically overridden
+   (``cudaSetDevice`` is ignored; ``cudaGetDeviceCount`` returns the
+   number of *virtual* GPUs);
+3. memory operations are handled entirely in terms of virtual addresses
+   by the memory manager — no CUDA runtime interaction;
+4. binding to a virtual GPU is delayed until the first kernel launch,
+   enabling informed scheduling decisions; if every vGPU is busy the
+   context joins the waiting list;
+5. failures move the context to the failed list, from which recovery
+   rebinds it to a healthy device and replays its journal (§4.6).
+
+The implementation is one handler process per connection — the paper's
+"multithreaded dispatcher: each dispatcher thread processes a different
+connection".
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, TYPE_CHECKING
+
+from repro.net.rpc import Request, Response
+from repro.net.socket import Socket
+from repro.simcuda import timing
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+
+from repro.core.context import Context, ContextState
+from repro.core.errors import RuntimeApiError
+from repro.core.memory.manager import NeedRetry
+from repro.core.offload import OFFLOAD_TAG
+from repro.core.protocol import CallType, REGISTRATION_CALLS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import NodeRuntime
+
+__all__ = ["Dispatcher"]
+
+#: Non-CUDA handshake carrying the application's identity and optional
+#: profiling hint (estimated GPU seconds, used by the SJF policy).
+HELLO_METHOD = "reproHello"
+
+
+class Dispatcher:
+    """Schedules intercepted CUDA calls onto virtual GPUs."""
+
+    def __init__(self, runtime: "NodeRuntime"):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.config = runtime.config
+        self.stats = runtime.stats
+        self.memory = runtime.memory
+        self.scheduler = runtime.scheduler
+        #: Failed contexts awaiting/undergoing recovery (paper Figure 3).
+        self.failed_contexts: List[Context] = []
+        #: All contexts ever served (experiment bookkeeping).
+        self.contexts: List[Context] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.env.process(self._dispatch_loop(), name="dispatcher")
+
+    def _dispatch_loop(self) -> Generator:
+        """Dequeue pending connections; offload or serve locally."""
+        while True:
+            sock: Socket = yield self.runtime.connections.next_connection()
+            self.stats.connections_accepted += 1
+            peer = None
+            already_offloaded = sock.peer_name.endswith(OFFLOAD_TAG)
+            if (
+                self.config.offload_enabled
+                and self.runtime.offloader is not None
+                and not already_offloaded
+            ):
+                peer = self.runtime.offloader.choose_peer()
+            if peer is not None:
+                self.stats.offloads_out += 1
+                self.env.process(
+                    self.runtime.offloader.proxy(sock, peer),
+                    name=f"offload-proxy-{sock.socket_id}",
+                )
+            else:
+                self.env.process(
+                    self._serve_connection(sock), name=f"handler-{sock.socket_id}"
+                )
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, sock: Socket) -> Generator:
+        ctx = Context(self.env, owner=sock.peer_name)
+        ctx.enter_cpu_phase(self.env.now)
+        self.contexts.append(ctx)
+        while True:
+            req: Request = yield sock.recv()
+            ctx.leave_cpu_phase()
+            yield ctx.lock.acquire()
+            value, error, resp_bytes = None, None, 0
+            try:
+                while True:
+                    try:
+                        if ctx.state is ContextState.FAILED:
+                            yield from self._recover(ctx)
+                        value, resp_bytes = yield from self._dispatch(ctx, req)
+                        ctx.rebind_attempts = 0
+                        break
+                    except CudaRuntimeError as exc:
+                        if (
+                            exc.code == CudaError.cudaErrorDevicesUnavailable
+                            and ctx.rebind_attempts
+                            < self.config.max_failed_rebind_attempts
+                        ):
+                            self._mark_failed(ctx, exc)
+                            continue
+                        error = exc
+                        break
+                    except RuntimeApiError as exc:
+                        error = exc
+                        break
+            finally:
+                ctx.enter_cpu_phase(self.env.now)
+                ctx.lock.release()
+            resp = Response(
+                request_id=req.request_id,
+                value=value,
+                error=error,
+                payload_bytes=resp_bytes,
+            )
+            self.stats.calls_served += 1
+            yield from sock.send(resp, nbytes=resp.wire_bytes)
+            if req.method == CallType.EXIT:
+                return
+            # The application is back in a CPU phase: a faster idle GPU
+            # may now claim it (dynamic binding, §5.3.4).
+            self.runtime.migration.maybe_migrate(ctx)
+
+    # ------------------------------------------------------------------
+    # call dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, ctx: Context, req: Request) -> Generator:
+        """Returns (value, response_payload_bytes)."""
+        yield self.env.timeout(self.config.dispatcher_overhead_s)
+        method = req.method
+        args = req.args
+
+        if method == HELLO_METHOD:
+            if args.get("owner"):
+                ctx.owner = args["owner"]
+            ctx.estimated_gpu_seconds = args.get("estimated_gpu_seconds")
+            ctx.application_id = args.get("application_id")
+            ctx.deadline_s = args.get("deadline_s")
+            return None, 0
+
+        if method in REGISTRATION_CALLS:
+            return (yield from self._registration(ctx, req))
+
+        if method == CallType.SET_DEVICE:
+            # Overridden: the runtime masks explicit GPU procurement (§2).
+            return None, 0
+        if method == CallType.GET_DEVICE_COUNT:
+            # Overridden: report virtual, not physical, GPUs (§4.3).
+            return self.scheduler.total_vgpus, 0
+
+        if method == CallType.MALLOC:
+            return self.memory.malloc(ctx, args["size"]), 0
+        if method == CallType.FREE:
+            yield from self.memory.free(ctx, args["vptr"])
+            return None, 0
+        if method == CallType.MEMCPY_H2D:
+            yield from self.memory.copy_h2d(ctx, args["vptr"], args["nbytes"])
+            return None, 0
+        if method == CallType.MEMCPY_D2H:
+            yield from self.memory.copy_d2h(ctx, args["vptr"], args["nbytes"])
+            return None, args["nbytes"]
+
+        if method == CallType.CONFIGURE_CALL:
+            ctx.pending_config = (args.get("grid", (1, 1, 1)), args.get("block", (256, 1, 1)))
+            return None, 0
+        if method == CallType.LAUNCH:
+            yield from self._launch(ctx, req)
+            return None, 0
+        if method == CallType.THREAD_SYNCHRONIZE:
+            return None, 0
+
+        if method == CallType.REGISTER_NESTED:
+            self.memory.register_nested(
+                ctx, args["parent"], args["members"], args["offsets"]
+            )
+            return None, 0
+        if method == CallType.CHECKPOINT:
+            if ctx.bound:
+                yield from self.memory.checkpoint(ctx)
+            return None, 0
+
+        if method == CallType.EXIT:
+            yield from self._exit(ctx)
+            return None, 0
+
+        raise ValueError(f"unknown intercepted call {method!r}")
+
+    def _registration(self, ctx: Context, req: Request) -> Generator:
+        """Registration functions precede context creation and are issued
+        straight to the CUDA runtime (they carry no binding decision)."""
+        yield self.env.timeout(timing.REGISTRATION_SECONDS)
+        if req.method == CallType.REGISTER_FATBIN:
+            fatbin = req.args["fatbin"]
+            ctx.fatbins.append(fatbin)
+            if fatbin.needs_exclusion_from_sharing:
+                # Device-side dynamic allocation: served, but excluded
+                # from sharing and dynamic scheduling (§1).
+                ctx.excluded_from_sharing = True
+            return fatbin.handle, 0
+        if req.method == CallType.REGISTER_FUNCTION:
+            descriptor = req.args["descriptor"]
+            fatbin = next(
+                (f for f in ctx.fatbins if f.handle == req.args["fatbin_handle"]), None
+            )
+            if fatbin is not None and descriptor.name not in fatbin.functions:
+                fatbin.register_function(descriptor)
+            if descriptor.uses_dynamic_alloc:
+                ctx.excluded_from_sharing = True
+            return None, 0
+        # vars / textures / shared: symbol bookkeeping on the fat binary
+        fatbin = next(
+            (f for f in ctx.fatbins if f.handle == req.args.get("fatbin_handle")),
+            None,
+        )
+        if fatbin is not None:
+            name = req.args.get("name", "")
+            if req.method == CallType.REGISTER_VAR:
+                fatbin.register_var(name)
+            elif req.method == CallType.REGISTER_TEXTURE:
+                fatbin.register_texture(name)
+            elif req.method == CallType.REGISTER_SHARED_VAR:
+                fatbin.register_shared_var(name)
+        return None, 0
+
+    # ------------------------------------------------------------------
+    # launch path: delayed binding + swap retries (§4.3, §4.5)
+    # ------------------------------------------------------------------
+    def _launch(self, ctx: Context, req: Request) -> Generator:
+        if ctx.pending_config is None:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorMissingConfiguration,
+                "cudaLaunch without cudaConfigureCall",
+            )
+        # Keep the configuration until the launch succeeds: the call may
+        # be retried wholesale after a device failure.
+        grid, block = ctx.pending_config
+        kernel = req.args["kernel"]
+        vptrs = tuple(req.args.get("args", ()))
+        read_only = tuple(req.args.get("read_only", ()))
+
+        backoff = self.config.swap_retry_backoff_s
+        while True:
+            if not ctx.bound:
+                yield from self.scheduler.request_binding(ctx)
+            ctx.last_call = req
+            try:
+                duration = yield from self.memory.prepare_and_launch(
+                    ctx, kernel, vptrs, read_only, grid=grid, block=block
+                )
+                break
+            except NeedRetry:
+                # No device memory, no victim: unbind, retry later (§4.5).
+                # Wake early if anyone releases device memory; otherwise
+                # back off exponentially so stuck launches do not spin.
+                yield from self.memory.swap_out_context(ctx, notify=False)
+                self.scheduler.release(ctx, "swap retry")
+                yield self.env.any_of(
+                    [self.env.timeout(backoff), self.memory.memory_freed.wait()]
+                )
+                backoff = min(backoff * 2, self.config.swap_retry_max_backoff_s)
+
+        ctx.pending_config = None
+        threshold = self.config.checkpoint_kernel_seconds
+        if threshold is not None and duration >= threshold:
+            # Automatic checkpoint after long-running kernels (§4.6).
+            yield from self.memory.checkpoint(ctx)
+
+    # ------------------------------------------------------------------
+    # failure handling (§4.6)
+    # ------------------------------------------------------------------
+    def _mark_failed(self, ctx: Context, exc: CudaRuntimeError) -> None:
+        ctx.error = exc
+        ctx.state = ContextState.FAILED
+        ctx.rebind_attempts += 1
+        self.failed_contexts.append(ctx)
+        if ctx.vgpu is not None:
+            dead_device = ctx.vgpu.device
+            ctx.vgpu.unbind(ctx)
+            if dead_device.failed:
+                self.runtime.note_device_failure(dead_device)
+        self.memory.reset_after_failure(ctx)
+
+    def _recover(self, ctx: Context) -> Generator:
+        """Rebind a failed context to a healthy device and replay.
+
+        Each journaled kernel is re-executed through the ordinary launch
+        path (re-journaling included), so replay survives memory pressure
+        on the new device — a mid-replay swap-out captures the replayed
+        prefix in the swap area while the suffix stays pending here.
+        """
+        pending = list(ctx.replay_journal)
+        ctx.replay_journal.clear()
+        backoff = self.config.swap_retry_backoff_s
+        index = 0
+        while index < len(pending):
+            if not ctx.bound:
+                yield from self.scheduler.request_binding(ctx, front=True)
+            launch = pending[index]
+            try:
+                yield from self.memory.prepare_and_launch(
+                    ctx,
+                    launch.kernel,
+                    launch.arg_pointers,
+                    launch.read_only or (),
+                    grid=launch.grid,
+                    block=launch.block,
+                )
+                self.stats.replayed_kernels += 1
+                index += 1
+            except NeedRetry:
+                yield from self.memory.swap_out_context(ctx, notify=False)
+                self.scheduler.release(ctx, "replay retry")
+                yield self.env.any_of(
+                    [self.env.timeout(backoff), self.memory.memory_freed.wait()]
+                )
+                backoff = min(backoff * 2, self.config.swap_retry_max_backoff_s)
+        if not ctx.bound:
+            yield from self.scheduler.request_binding(ctx, front=True)
+        ctx.state = ContextState.ASSIGNED
+        ctx.error = None
+        if ctx in self.failed_contexts:
+            self.failed_contexts.remove(ctx)
+        self.stats.failures_recovered += 1
+
+    # ------------------------------------------------------------------
+    def _exit(self, ctx: Context) -> Generator:
+        yield from self.memory.release_context(ctx)
+        if ctx.bound:
+            self.scheduler.release(ctx, "exit")
+        else:
+            self.scheduler.cancel_wait(ctx)
+        ctx.state = ContextState.DONE
+        ctx.finished_at = self.env.now

@@ -1,0 +1,64 @@
+"""Failure injection and GPU hotplug helpers (paper §4.6).
+
+The runtime itself recovers from failures lazily (a context discovers its
+device is gone when an operation returns ``cudaErrorDevicesUnavailable``,
+moves to the failed list, and is rebound + replayed by the dispatcher).
+This module provides the experiment-side machinery: scheduled device
+failures, recoveries, and dynamic upgrade/downgrade events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, List, Optional, TYPE_CHECKING
+
+from repro.simcuda.device import GPUSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import NodeRuntime
+
+__all__ = ["FailureInjector", "HotplugEvent"]
+
+
+@dataclasses.dataclass
+class HotplugEvent:
+    """One scheduled event in a device-availability timeline."""
+
+    at_seconds: float
+    action: str  # "fail" | "add"
+    device_index: Optional[int] = None  # for "fail": index into runtime devices
+    spec: Optional[GPUSpec] = None  # for "add"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("fail", "add"):
+            raise ValueError(f"unknown hotplug action {self.action!r}")
+        if self.action == "fail" and self.device_index is None:
+            raise ValueError("'fail' needs device_index")
+        if self.action == "add" and self.spec is None:
+            raise ValueError("'add' needs a GPUSpec")
+
+
+class FailureInjector:
+    """Drives a timeline of GPU failures/additions against a runtime."""
+
+    def __init__(self, runtime: "NodeRuntime", timeline: List[HotplugEvent]):
+        self.runtime = runtime
+        self.timeline = sorted(timeline, key=lambda e: e.at_seconds)
+        self.fired: List[HotplugEvent] = []
+
+    def start(self) -> None:
+        self.runtime.env.process(self._run(), name="failure-injector")
+
+    def _run(self) -> Generator:
+        env = self.runtime.env
+        for event in self.timeline:
+            delay = event.at_seconds - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            if event.action == "fail":
+                devices = self.runtime.driver.devices
+                if 0 <= event.device_index < len(devices):
+                    self.runtime.fail_device(devices[event.device_index])
+            else:
+                yield from self.runtime.add_device(event.spec)
+            self.fired.append(event)

@@ -1,0 +1,191 @@
+"""The frontend (intercept) library — the application side.
+
+Applications link against this instead of the CUDA runtime; every call is
+marshalled over the connection to the node runtime (API remoting, as in
+gVirtuS).  One frontend instance per application thread, matching the
+one-connection-per-thread design of §4.2.
+
+The API mirrors :class:`repro.simcuda.runtime_api.CudaRuntimeAPI`, so the
+workload models run unchanged on either the bare CUDA runtime or the
+paper's runtime — exactly the property the real intercept library has.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence, Tuple
+
+from repro.net.channel import LinkSpec, AFUNIX_LINK
+from repro.net.rpc import RpcClient
+from repro.net.socket import Listener, connect
+
+from repro.core.protocol import CallType
+from repro.simcuda.fatbin import FatBinary
+from repro.simcuda.kernels import KernelDescriptor
+
+__all__ = ["Frontend"]
+
+
+class Frontend:
+    """Client endpoint for one application thread."""
+
+    def __init__(
+        self,
+        env,
+        listener: Listener,
+        link: LinkSpec = AFUNIX_LINK,
+        name: str = "app",
+        estimated_gpu_seconds: Optional[float] = None,
+        application_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ):
+        self.env = env
+        self._listener = listener
+        self._link = link
+        self.name = name
+        self.estimated_gpu_seconds = estimated_gpu_seconds
+        #: CUDA 4.0 semantics: threads of one application (same id) share
+        #: GPU data and must be bound to the same device (§4.8).
+        self.application_id = application_id
+        #: QoS hint: absolute completion deadline in simulated seconds.
+        self.deadline_s = deadline_s
+        self._rpc: Optional[RpcClient] = None
+
+    # ------------------------------------------------------------------
+    def open(self) -> Generator:
+        """Establish the connection and send the identity handshake."""
+        sock = connect(self.env, self._listener, link=self._link, client_name=self.name)
+        self._rpc = RpcClient(sock)
+        yield from self._rpc.call(
+            "reproHello",
+            owner=self.name,
+            estimated_gpu_seconds=self.estimated_gpu_seconds,
+            application_id=self.application_id,
+            deadline_s=self.deadline_s,
+        )
+
+    @property
+    def connected(self) -> bool:
+        return self._rpc is not None
+
+    def _call(self, method: CallType, payload_bytes: int = 0, **args) -> Generator:
+        if self._rpc is None:
+            raise RuntimeError("frontend not connected; call open() first")
+        result = yield from self._rpc.call(method, payload_bytes=payload_bytes, **args)
+        return result
+
+    # ------------------------------------------------------------------
+    # registration (host startup code)
+    # ------------------------------------------------------------------
+    def register_fat_binary(self, fatbin: FatBinary) -> Generator:
+        handle = yield from self._call(CallType.REGISTER_FATBIN, fatbin=fatbin)
+        return handle
+
+    def register_function(self, fatbin_handle: int, descriptor: KernelDescriptor) -> Generator:
+        yield from self._call(
+            CallType.REGISTER_FUNCTION,
+            fatbin_handle=fatbin_handle,
+            descriptor=descriptor,
+        )
+
+    def register_var(self, fatbin_handle: int, name: str) -> Generator:
+        """``__cudaRegisterVar``: a device global variable."""
+        yield from self._call(
+            CallType.REGISTER_VAR, fatbin_handle=fatbin_handle, name=name
+        )
+
+    def register_texture(self, fatbin_handle: int, name: str) -> Generator:
+        """``__cudaRegisterTexture``."""
+        yield from self._call(
+            CallType.REGISTER_TEXTURE, fatbin_handle=fatbin_handle, name=name
+        )
+
+    def register_shared_var(self, fatbin_handle: int, name: str) -> Generator:
+        """``__cudaRegisterSharedVar``."""
+        yield from self._call(
+            CallType.REGISTER_SHARED_VAR, fatbin_handle=fatbin_handle, name=name
+        )
+
+    # ------------------------------------------------------------------
+    # device management (overridden server-side)
+    # ------------------------------------------------------------------
+    def cuda_set_device(self, device_id: int) -> Generator:
+        yield from self._call(CallType.SET_DEVICE, device=device_id)
+
+    def cuda_get_device_count(self) -> Generator:
+        count = yield from self._call(CallType.GET_DEVICE_COUNT)
+        return count
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def cuda_malloc(self, size: int) -> Generator:
+        vptr = yield from self._call(CallType.MALLOC, size=size)
+        return vptr
+
+    def cuda_free(self, vptr: int) -> Generator:
+        yield from self._call(CallType.FREE, vptr=vptr)
+
+    def cuda_memcpy_h2d(self, vptr: int, nbytes: int) -> Generator:
+        yield from self._call(
+            CallType.MEMCPY_H2D, payload_bytes=nbytes, vptr=vptr, nbytes=nbytes
+        )
+
+    def cuda_memcpy_d2h(self, vptr: int, nbytes: int) -> Generator:
+        yield from self._call(CallType.MEMCPY_D2H, vptr=vptr, nbytes=nbytes)
+
+    def register_nested(
+        self, parent: int, members: Sequence[int], offsets: Sequence[int]
+    ) -> Generator:
+        """Declare a nested data structure to the runtime (§4.5)."""
+        yield from self._call(
+            CallType.REGISTER_NESTED,
+            parent=parent,
+            members=tuple(members),
+            offsets=tuple(offsets),
+        )
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def cuda_configure_call(
+        self,
+        grid: Tuple[int, int, int] = (1, 1, 1),
+        block: Tuple[int, int, int] = (256, 1, 1),
+    ) -> Generator:
+        yield from self._call(CallType.CONFIGURE_CALL, grid=grid, block=block)
+
+    def cuda_launch(
+        self,
+        kernel: KernelDescriptor,
+        args: Sequence[int],
+        read_only: Sequence[int] = (),
+    ) -> Generator:
+        yield from self._call(
+            CallType.LAUNCH,
+            kernel=kernel,
+            args=tuple(args),
+            read_only=tuple(read_only),
+        )
+
+    def launch_kernel(
+        self,
+        kernel: KernelDescriptor,
+        args: Sequence[int],
+        read_only: Sequence[int] = (),
+        grid: Tuple[int, int, int] = (1, 1, 1),
+        block: Tuple[int, int, int] = (256, 1, 1),
+    ) -> Generator:
+        """Convenience: configure + launch in one go."""
+        yield from self.cuda_configure_call(grid, block)
+        yield from self.cuda_launch(kernel, args, read_only)
+
+    def cuda_thread_synchronize(self) -> Generator:
+        yield from self._call(CallType.THREAD_SYNCHRONIZE)
+
+    def checkpoint(self) -> Generator:
+        """Explicit user-specified checkpoint (§4.6)."""
+        yield from self._call(CallType.CHECKPOINT)
+
+    def cuda_thread_exit(self) -> Generator:
+        yield from self._call(CallType.EXIT)
+        self._rpc = None

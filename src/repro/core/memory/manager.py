@@ -1,0 +1,581 @@
+"""The memory manager (paper §4.5): virtual memory for GPUs.
+
+Responsibilities, mirroring Table 1 and Figure 4:
+
+``malloc``   create a PTE, allocate swap — no device interaction;
+``copy_HD``  validate the PTE, stage data into the swap area (deferred
+             mode) or transfer immediately when bound (overlap mode);
+``copy_DH``  write back the device copy if it is the authoritative one,
+             then serve from swap;
+``free``     release swap and (if resident) device memory;
+``launch``   the on-demand path: allocate device memory for every entry
+             the kernel references — swapping intra-application, then
+             inter-application when needed — perform the deferred bulk
+             transfers, translate virtual→device pointers, execute;
+``swap``     write back + release one entry (intra) or a whole context
+             (inter/migration/unbind).
+
+The memory manager also detects badly-written applications (transfers
+beyond an allocation's bounds, launches referencing unknown pointers)
+*before* they reach the CUDA runtime, and coalesces repeated host→device
+copies into one bulk transfer per entry at launch time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.sim import Condition, Environment
+from repro.simcuda.device import GPUDevice
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.kernels import KernelDescriptor, KernelLaunch
+
+from repro.core.config import RuntimeConfig
+from repro.core.context import Context, ContextState
+from repro.core.errors import RuntimeApiError, RuntimeErrorCode
+from repro.core.memory.nested import NestedStructure
+from repro.core.memory.page_table import EntryType, PageTable, PageTableEntry
+from repro.core.memory.swap import SwapArea
+from repro.core.stats import RuntimeStats
+
+__all__ = ["MemoryManager", "NeedRetry"]
+
+
+class NeedRetry(Exception):
+    """Launch could not obtain device memory and found no swap victim:
+    the calling context must unbind and retry later (§4.5)."""
+
+    def __init__(self, required_bytes: int):
+        self.required_bytes = required_bytes
+        super().__init__(f"need {required_bytes} bytes; no victim available")
+
+
+class MemoryManager:
+    """Virtual-memory abstraction over the node's GPUs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: RuntimeConfig,
+        stats: Optional[RuntimeStats] = None,
+    ):
+        self.env = env
+        self.config = config
+        self.stats = stats or RuntimeStats()
+        self.page_table = PageTable()
+        self.swap = SwapArea(config.host_swap_capacity_bytes, config.host_memcpy_bps)
+        #: parent virtual ptr -> registration
+        self.nested: Dict[int, NestedStructure] = {}
+        #: Wired by the runtime: unbind a context after an inter-app swap.
+        self.unbind_callback: Optional[Callable[[Context, str], None]] = None
+        #: Wired by the runtime: contexts currently bound to a device.
+        self.bound_contexts_on: Callable[[GPUDevice], List[Context]] = lambda d: []
+        #: Fired whenever device memory is released anywhere on the node;
+        #: contexts blocked in the unbind-and-retry path wake on it
+        #: instead of polling.
+        self.memory_freed = Condition(env)
+        #: Wired by the runtime: the node's healthy devices, consulted to
+        #: decide whether a too-large working set could fit *some* GPU
+        #: (rebind) or none at all (application error).
+        self.devices_fn: Callable[[], List[GPUDevice]] = lambda: []
+
+    # ------------------------------------------------------------------
+    # Table 1: Malloc
+    # ------------------------------------------------------------------
+    def malloc(
+        self,
+        ctx: Context,
+        size: int,
+        entry_type: EntryType = EntryType.LINEAR,
+        params=None,
+    ) -> int:
+        """Create a PTE and its swap backing; returns the virtual address.
+
+        No CUDA runtime action is triggered (transfer deferral): device
+        memory is allocated on demand at the first kernel launch that
+        references the entry.
+        """
+        if size <= 0:
+            raise RuntimeApiError(
+                RuntimeErrorCode.SWAP_ALLOCATION_FAILED, f"invalid size {size}"
+            )
+        pte = self.page_table.create_entry(ctx, size, entry_type, params)
+        try:
+            pte.swap_ptr = self.swap.allocate(size)
+        except RuntimeApiError:
+            self.page_table.remove_entry(ctx, pte)
+            raise
+        return pte.virtual_ptr
+
+    # ------------------------------------------------------------------
+    # runtime extension: nested-structure registration
+    # ------------------------------------------------------------------
+    def register_nested(
+        self,
+        ctx: Context,
+        parent_vptr: int,
+        member_vptrs: Sequence[int],
+        pointer_offsets: Sequence[int],
+    ) -> None:
+        parent = self.page_table.lookup(ctx, parent_vptr)
+        members = [self.page_table.lookup(ctx, v) for v in member_vptrs]
+        reg = NestedStructure(parent, members, list(pointer_offsets))
+        self.nested[parent_vptr] = reg
+        parent.nested = reg
+
+    # ------------------------------------------------------------------
+    # Table 1: Copy_HD
+    # ------------------------------------------------------------------
+    def copy_h2d(self, ctx: Context, vptr: int, nbytes: int) -> Generator:
+        """Stage application data; defers the device transfer by default."""
+        try:
+            pte = self.page_table.lookup(ctx, vptr)
+        except RuntimeApiError:
+            self.stats.bad_calls_detected += 1
+            raise
+        if nbytes > pte.size:
+            # Bad memory operation caught in the runtime, never reaching
+            # the CUDA stack (§4.5).
+            self.stats.bad_calls_detected += 1
+            raise RuntimeApiError(
+                RuntimeErrorCode.SWAP_SIZE_MISMATCH,
+                f"copy of {nbytes} bytes into {pte.size}-byte allocation",
+            )
+        self.stats.h2d_requests += 1
+        # Host-side staging into the swap area.
+        yield self.env.timeout(self.swap.write_seconds(nbytes))
+        pte.on_host_write()
+        if not self.config.defer_transfers and ctx.bound and pte.is_allocated:
+            # Overlap mode: push the data now.
+            yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, nbytes)
+            pte.on_copied_to_device()
+            self.stats.h2d_device_transfers += 1
+
+    # ------------------------------------------------------------------
+    # Table 1: Copy_DH
+    # ------------------------------------------------------------------
+    def copy_d2h(self, ctx: Context, vptr: int, nbytes: int) -> Generator:
+        """Serve a device→host read, writing back from the device if the
+        device copy is the authoritative one."""
+        try:
+            pte = self.page_table.lookup(ctx, vptr)
+        except RuntimeApiError:
+            self.stats.bad_calls_detected += 1
+            raise
+        if nbytes > pte.size:
+            self.stats.bad_calls_detected += 1
+            raise RuntimeApiError(
+                RuntimeErrorCode.SWAP_SIZE_MISMATCH,
+                f"read of {nbytes} bytes from {pte.size}-byte allocation",
+            )
+        self.stats.d2h_requests += 1
+        if pte.to_copy_2swap:
+            assert ctx.bound, "dirty device data implies a bound context"
+            yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
+            pte.on_copied_to_swap()
+            self._maybe_clear_journal(ctx)
+        yield self.env.timeout(self.swap.read_seconds(nbytes))
+
+    # ------------------------------------------------------------------
+    # Table 1: Free
+    # ------------------------------------------------------------------
+    def free(self, ctx: Context, vptr: int) -> Generator:
+        try:
+            pte = self.page_table.lookup(ctx, vptr)
+        except RuntimeApiError:
+            self.stats.bad_calls_detected += 1
+            raise
+        if pte.is_allocated:
+            assert ctx.bound, "resident allocation implies a bound context"
+            yield from ctx.vgpu.free(pte.device_ptr)
+            pte.to_copy_2swap = False
+            pte.on_device_released()
+            self.memory_freed.notify_all()
+        if pte.swap_ptr is not None:
+            self.swap.release(pte.swap_ptr)
+            pte.swap_ptr = None
+        self.page_table.remove_entry(ctx, pte)
+        self.nested.pop(vptr, None)
+
+    # ------------------------------------------------------------------
+    # Table 1: Launch (+ internal Swap)
+    # ------------------------------------------------------------------
+    def prepare_and_launch(
+        self,
+        ctx: Context,
+        kernel: KernelDescriptor,
+        arg_vptrs: Sequence[int],
+        read_only_vptrs: Sequence[int] = (),
+        grid: Tuple[int, int, int] = (1, 1, 1),
+        block: Tuple[int, int, int] = (256, 1, 1),
+        replaying: bool = False,
+    ) -> Generator:
+        """Execute one kernel on the context's bound vGPU.
+
+        Returns the kernel's execution-engine seconds (used for automatic
+        checkpointing and credit accounting).
+
+        Raises
+        ------
+        NeedRetry
+            Device memory could not be obtained and no swap victim was
+            available; the caller must unbind + retry.
+        RuntimeApiError
+            The launch references an invalid virtual pointer, or the
+            kernel's working set cannot fit the device at all.
+        """
+        assert ctx.bound, "launch requires a bound context"
+        device = ctx.vgpu.device
+
+        ptes = self._resolve_launch_entries(ctx, arg_vptrs)
+        working_set = sum(p.size for p in ptes)
+        if working_set > self._usable_bytes(device):
+            # The working set cannot fit *this* device.  If some other
+            # healthy GPU could hold it, rebind there (dynamic binding);
+            # only when no device on the node can is it the application's
+            # error ("the memory footprint of each application fits the
+            # most capable GPU" is the paper's §6 assumption).
+            if any(
+                working_set <= self._usable_bytes(d)
+                for d in self.devices_fn()
+                if not d.failed and d is not device
+            ):
+                self.stats.swap_retries += 1
+                raise NeedRetry(working_set)
+            raise RuntimeApiError(
+                RuntimeErrorCode.KERNEL_FOOTPRINT_TOO_LARGE,
+                f"kernel {kernel.name!r} needs {working_set} bytes; "
+                f"no device offers that much",
+            )
+
+        yield from self._ensure_resident(ctx, ptes)
+        yield from self._perform_deferred_transfers(ctx, ptes)
+        yield from self._patch_nested_parents(ctx, ptes)
+
+        read_only = set(read_only_vptrs)
+        device_ptrs = tuple(p.device_ptr for p in ptes)
+        dev_read_only = tuple(
+            p.device_ptr for p in ptes if p.virtual_ptr in read_only
+        )
+        translated = KernelLaunch(
+            kernel=kernel,
+            grid=grid,
+            block=block,
+            arg_pointers=device_ptrs,
+            read_only=dev_read_only if dev_read_only else None,
+        )
+        t0 = self.env.now
+        yield from ctx.vgpu.launch(translated)
+        duration = self.env.now - t0
+
+        now = self.env.now
+        for pte in ptes:
+            if pte.virtual_ptr in read_only:
+                pte.on_kernel_read(now)
+            else:
+                pte.on_kernel_write(now)
+        if not replaying:
+            ctx.replay_journal.append(
+                KernelLaunch(
+                    kernel=kernel,
+                    grid=grid,
+                    block=block,
+                    arg_pointers=tuple(arg_vptrs),
+                    read_only=tuple(read_only) if read_only else None,
+                )
+            )
+        self.stats.kernels_launched += 1
+        ctx.kernels_launched += 1
+        ctx.gpu_seconds_used += duration
+        return duration
+
+    def _usable_bytes(self, device: GPUDevice) -> int:
+        return (
+            device.memory_capacity
+            - device.spec.context_reservation_bytes * self.config.vgpus_per_device
+        )
+
+    def _resolve_launch_entries(
+        self, ctx: Context, arg_vptrs: Sequence[int]
+    ) -> List[PageTableEntry]:
+        """Translate launch arguments, expanding nested structures."""
+        ptes: List[PageTableEntry] = []
+        seen = set()
+        for vptr in arg_vptrs:
+            try:
+                pte = self.page_table.lookup(ctx, vptr)
+            except RuntimeApiError:
+                self.stats.bad_calls_detected += 1
+                raise
+            closure = [pte]
+            reg = self.nested.get(vptr)
+            if reg is not None:
+                closure = reg.closure()
+            for p in closure:
+                if p.virtual_ptr not in seen:
+                    seen.add(p.virtual_ptr)
+                    ptes.append(p)
+        return ptes
+
+    def _ensure_resident(self, ctx: Context, ptes: List[PageTableEntry]) -> Generator:
+        """Allocate device memory for every entry, swapping as needed."""
+        launch_set = {p.virtual_ptr for p in ptes}
+        for pte in ptes:
+            while not pte.is_allocated:
+                try:
+                    address = yield from ctx.vgpu.malloc(pte.size)
+                except CudaRuntimeError as exc:
+                    if exc.code != CudaError.cudaErrorMemoryAllocation:
+                        raise
+                    evicted = False
+                    if self.config.enable_intra_swap:
+                        evicted = yield from self._intra_swap_one(ctx, launch_set)
+                    if not evicted:
+                        remaining = sum(
+                            p.size for p in ptes if not p.is_allocated
+                        )
+                        yield from self._inter_swap(ctx, remaining)
+                    continue
+                pte.on_device_allocated(address)
+
+    def _perform_deferred_transfers(
+        self, ctx: Context, ptes: List[PageTableEntry]
+    ) -> Generator:
+        """One bulk H2D per entry whose swap copy is authoritative —
+        however many copy_HD calls preceded it (coalescing, §4.5)."""
+        for pte in ptes:
+            if pte.to_copy_2dev:
+                yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, pte.size)
+                pte.on_copied_to_device()
+                self.stats.h2d_device_transfers += 1
+                self.stats.swap_bytes_in += pte.size
+
+    def _patch_nested_parents(self, ctx: Context, ptes: List[PageTableEntry]) -> Generator:
+        """Rewrite embedded device pointers inside nested parents whose
+        members may have moved (consistency of nested structures)."""
+        for pte in ptes:
+            reg = self.nested.get(pte.virtual_ptr)
+            if reg is not None and reg.patch_bytes:
+                yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, reg.patch_bytes)
+
+    # ------------------------------------------------------------------
+    # swapping
+    # ------------------------------------------------------------------
+    def _intra_swap_one(self, ctx: Context, launch_set: set) -> Generator:
+        """Evict one of the context's own resident entries that the
+        current launch does not reference (LRU order).  Returns True if
+        an entry was evicted."""
+        candidates = [
+            p
+            for p in self.page_table.entries_for(ctx)
+            if p.is_allocated and p.virtual_ptr not in launch_set
+        ]
+        if not candidates:
+            return False
+        victim = min(candidates, key=lambda p: (p.last_use, p.seq))
+        yield from self._swap_entry(ctx, victim)
+        self.stats.swaps_intra += 1
+        self._maybe_clear_journal(ctx)
+        return True
+
+    def _swap_entry(
+        self, ctx: Context, pte: PageTableEntry, notify: bool = True
+    ) -> Generator:
+        """Table 1 'Swap': write back if dirty, then release device memory.
+
+        ``notify=False`` suppresses the memory-freed wake-up — used when a
+        *failed* launch swaps itself out, so that stuck contexts do not
+        wake each other in a retry storm.
+        """
+        if pte.to_copy_2swap:
+            yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
+            pte.on_copied_to_swap()
+            self.stats.swap_bytes_out += pte.size
+        yield from ctx.vgpu.free(pte.device_ptr)
+        pte.on_device_released()
+        if notify:
+            self.memory_freed.notify_all()
+
+    def _inter_swap(self, ctx: Context, required_bytes: int) -> Generator:
+        """Ask another application on the same GPU to swap (§4.5).
+
+        A victim must be in a CPU phase with no pending device request,
+        hold at least ``required_bytes`` of device memory, and not be
+        excluded from sharing.  If none exists (or the feature is off),
+        :class:`NeedRetry` propagates to the dispatcher, which unbinds the
+        caller and retries later.  Swaps never cascade over multiple
+        victims ("to reduce complexity and avoid inefficiencies").
+        """
+        if not self.config.enable_inter_swap:
+            self.stats.swap_retries += 1
+            raise NeedRetry(required_bytes)
+        victim = self.find_swap_victim(ctx.vgpu.device, required_bytes, exclude=ctx)
+        if victim is None:
+            self.stats.swap_retries += 1
+            raise NeedRetry(required_bytes)
+        yield victim.lock.acquire()
+        try:
+            # Re-check under the lock: the victim may have resumed.
+            if not self._victim_eligible(victim, ctx.vgpu.device, required_bytes):
+                self.stats.swap_retries += 1
+                raise NeedRetry(required_bytes)
+            yield from self.swap_out_context(victim)
+            victim.swaps_suffered += 1
+            self.stats.swaps_inter += 1
+            if self.unbind_callback is not None:
+                self.unbind_callback(victim, "inter-application swap")
+        finally:
+            victim.lock.release()
+
+    def find_swap_victim(
+        self, device: GPUDevice, required_bytes: int, exclude: Optional[Context] = None
+    ) -> Optional[Context]:
+        """A single context on ``device`` able to free ``required_bytes``."""
+        best: Optional[Context] = None
+        for other in self.bound_contexts_on(device):
+            if other is exclude:
+                continue
+            if self._victim_eligible(other, device, required_bytes):
+                # Prefer the victim wasting the most memory while idle.
+                if best is None or self.page_table.allocated_bytes(
+                    other
+                ) > self.page_table.allocated_bytes(best):
+                    best = other
+        return best
+
+    def _victim_eligible(
+        self, victim: Context, device: GPUDevice, required_bytes: int
+    ) -> bool:
+        return (
+            victim.bound
+            and victim.vgpu.device is device
+            and victim.in_cpu_phase
+            and not victim.excluded_from_sharing
+            and victim.state is ContextState.ASSIGNED
+            and self.page_table.allocated_bytes(victim) >= required_bytes
+        )
+
+    def swap_out_context(self, ctx: Context, notify: bool = True) -> Generator:
+        """Write back and release every resident entry of ``ctx``.
+
+        Afterwards the swap area captures the full device state of the
+        application, so its failure-replay journal can be cleared.
+        """
+        for pte in self.page_table.entries_for(ctx):
+            if pte.is_allocated:
+                yield from self._swap_entry(ctx, pte, notify=notify)
+        ctx.replay_journal.clear()
+
+    def migrate_context_p2p(self, ctx: Context, dst_vgpu) -> Generator:
+        """CUDA 4.0 dynamic binding (§4.8): move a context's resident
+        entries to ``dst_vgpu``'s device with direct GPU-to-GPU copies,
+        avoiding the host round trip of the swap path.
+
+        Returns True on success.  On destination OOM, everything placed
+        so far is rolled back and False is returned — the caller falls
+        back to the swap-based path.
+        """
+        src_vgpu = ctx.vgpu
+        assert src_vgpu is not None and src_vgpu.device is not dst_vgpu.device
+        moved = []  # (pte, old_device_ptr, new_device_ptr)
+        entries = [p for p in self.page_table.entries_for(ctx) if p.is_allocated]
+        try:
+            for pte in entries:
+                new_ptr = yield from dst_vgpu.malloc(pte.size)
+                moved.append((pte, pte.device_ptr, new_ptr))
+        except CudaRuntimeError as exc:
+            if exc.code != CudaError.cudaErrorMemoryAllocation:
+                raise
+            for _pte, _old, new_ptr in moved:
+                yield from dst_vgpu.free(new_ptr)
+            return False
+        driver = dst_vgpu.driver
+        for pte, old_ptr, new_ptr in moved:
+            if not pte.to_copy_2dev:
+                # Device copy is current (dirty or in sync): carry it over.
+                yield from driver.memcpy_peer(
+                    src_vgpu.cuda_context, old_ptr,
+                    dst_vgpu.cuda_context, new_ptr,
+                    pte.size,
+                )
+                self.stats.p2p_bytes += pte.size
+            yield from src_vgpu.free(old_ptr)
+            pte.device_ptr = new_ptr
+            pte.check_invariants()
+        return True
+
+    # ------------------------------------------------------------------
+    # checkpoint / failure support (§4.6)
+    # ------------------------------------------------------------------
+    def checkpoint(self, ctx: Context) -> Generator:
+        """Write dirty entries back to swap, keeping them resident."""
+        for pte in self.page_table.entries_for(ctx):
+            if pte.to_copy_2swap:
+                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
+                pte.on_copied_to_swap()
+                self.stats.swap_bytes_out += pte.size
+        ctx.replay_journal.clear()
+        self.stats.checkpoints += 1
+
+    def reset_after_failure(self, ctx: Context) -> None:
+        """Drop the (lost) device side of every entry without device
+        operations; swap-resident data becomes authoritative and the
+        journal will re-create what the device held exclusively."""
+        for pte in self.page_table.entries_for(ctx):
+            if pte.is_allocated:
+                pte.to_copy_2swap = False
+                pte.is_allocated = False
+                pte.device_ptr = None
+                pte.to_copy_2dev = True
+                pte.check_invariants()
+
+    def replay(self, ctx: Context) -> Generator:
+        """Re-execute journaled kernels after a failure rebind (§4.6:
+        only memory operations required by not-yet-executed kernels are
+        replayed — the journal holds exactly the launches whose effects
+        were not yet captured in the swap area)."""
+        journal = list(ctx.replay_journal)
+        for launch in journal:
+            yield from self.prepare_and_launch(
+                ctx,
+                launch.kernel,
+                launch.arg_pointers,
+                launch.read_only or (),
+                grid=launch.grid,
+                block=launch.block,
+                replaying=True,
+            )
+            self.stats.replayed_kernels += 1
+
+    # ------------------------------------------------------------------
+    def release_context(self, ctx: Context) -> Generator:
+        """Application exit: free everything it still holds."""
+        released_device_memory = False
+        for pte in self.page_table.entries_for(ctx):
+            if pte.is_allocated and ctx.bound:
+                yield from ctx.vgpu.free(pte.device_ptr)
+                pte.to_copy_2swap = False
+                pte.on_device_released()
+                released_device_memory = True
+            if pte.swap_ptr is not None:
+                self.swap.release(pte.swap_ptr)
+                pte.swap_ptr = None
+            self.nested.pop(pte.virtual_ptr, None)
+        self.page_table.drop_context(ctx)
+        if released_device_memory:
+            self.memory_freed.notify_all()
+
+    # ------------------------------------------------------------------
+    def _maybe_clear_journal(self, ctx: Context) -> None:
+        """The journal exists to regenerate device-only state; once no
+        entry is device-dirty, the swap area is a complete checkpoint."""
+        if not any(p.to_copy_2swap for p in self.page_table.entries_for(ctx)):
+            ctx.replay_journal.clear()
+
+    def mem_usage(self, ctx: Context) -> int:
+        """The paper's ``MemUsage`` for one context."""
+        return self.page_table.allocated_bytes(ctx)
+
+    def mem_avail(self, device: GPUDevice) -> int:
+        """The paper's ``MemAvailList`` entry for one device."""
+        return device.allocator.free_bytes

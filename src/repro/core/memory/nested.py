@@ -1,0 +1,72 @@
+"""Nested data-structure support (paper §1, §4.5).
+
+Efficient GPU code avoids pointer nesting, but the runtime supports it by
+requiring the programmer to *register* nested structures through a
+runtime API call.  The registration describes which members of a parent
+allocation are themselves pointers to other allocations; the memory
+manager uses this to keep virtual and device pointers consistent inside
+the structure: whenever the parent is (re)materialized on the device, the
+embedded virtual pointers must be patched to the members' current device
+addresses — so a parent is only consistent if every member is resident.
+
+Consequences modelled here:
+
+- memory operations on a registered parent extend to its members
+  (allocation, transfer, swap — paper: "Memory operations on nested
+  structures will be extended also to their PTE members");
+- a launch referencing the parent implicitly references all members;
+- any member swap invalidates the parent's device copy (the embedded
+  device pointer went stale), forcing a re-patch (an extra small H2D).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.memory.page_table import PageTableEntry
+
+__all__ = ["NestedStructure"]
+
+
+@dataclasses.dataclass
+class NestedStructure:
+    """Registration record for one nested structure.
+
+    Attributes
+    ----------
+    parent:
+        PTE of the outer allocation that embeds pointers.
+    members:
+        PTEs of the allocations the parent points to.
+    pointer_offsets:
+        Byte offsets inside the parent where each member's pointer is
+        stored (parallel to ``members``); used to size the patch
+        transfer.
+    """
+
+    parent: "PageTableEntry"
+    members: List["PageTableEntry"]
+    pointer_offsets: List[int]
+
+    def __post_init__(self) -> None:
+        if len(self.members) != len(self.pointer_offsets):
+            raise ValueError("members and pointer_offsets must be parallel")
+        if not self.members:
+            raise ValueError("a nested structure needs at least one member")
+        for off in self.pointer_offsets:
+            if not 0 <= off < self.parent.size:
+                raise ValueError(
+                    f"pointer offset {off} outside parent of size {self.parent.size}"
+                )
+
+    @property
+    def patch_bytes(self) -> int:
+        """Bytes to rewrite in the parent when device pointers change
+        (8 bytes per embedded pointer)."""
+        return 8 * len(self.members)
+
+    def closure(self) -> List["PageTableEntry"]:
+        """Parent plus all members — the unit memory operations apply to."""
+        return [self.parent, *self.members]

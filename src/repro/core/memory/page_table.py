@@ -1,0 +1,232 @@
+"""Page table and page-table entries (paper §4.5).
+
+Each entry is created on a memory-allocation call and carries three
+pointers — the *virtual* pointer returned to the application, the pointer
+into the host *swap* area, and (while resident) the *device* pointer —
+plus the three flags of the paper's Figure 4:
+
+``isAllocated``
+    the entry currently has device memory backing it;
+``toCopy2Dev``
+    the authoritative data is (only) in the swap area and must be copied
+    to the device before the next kernel that references it;
+``toCopy2Swap``
+    the authoritative data is (only) on the device and must be copied
+    back before serving a device→host read or releasing the device copy.
+
+The five legal flag states and the transitions between them are exactly
+the Figure 4 state diagram; :meth:`PageTableEntry.check_invariants`
+rejects anything else (exercised by the property tests).
+
+As the paper notes, "page" is a slight misnomer: allocations are not
+carved into fixed-size pages — each entry covers a whole allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import RuntimeApiError, RuntimeErrorCode
+
+__all__ = ["EntryType", "PageTableEntry", "PageTable", "VIRTUAL_BASE"]
+
+#: Virtual addresses live far away from simulated device addresses so
+#: that passing one where the other is expected is caught immediately.
+VIRTUAL_BASE = 0x7000_0000_0000
+VIRTUAL_ALIGNMENT = 256
+
+_LEGAL_STATES = {
+    (False, False, False),  # created, nothing anywhere yet
+    (False, True, False),   # data in swap only
+    (True, False, False),   # resident, device and swap in sync
+    (True, True, False),    # resident, swap copy is newer (host overwrote)
+    (True, False, True),    # resident, device copy is newer (kernel wrote)
+}
+
+
+class EntryType(enum.Enum):
+    """Kind of allocation behind the entry (paper: ``entry_t type``)."""
+
+    LINEAR = "linear"        # cudaMalloc
+    ARRAY = "array"          # cudaMallocArray
+    PITCHED = "pitched"      # cudaMallocPitch
+
+_entry_seq = itertools.count(1)
+
+
+class PageTableEntry:
+    """One allocation's translation + state."""
+
+    __slots__ = (
+        "virtual_ptr",
+        "swap_ptr",
+        "device_ptr",
+        "size",
+        "is_allocated",
+        "to_copy_2dev",
+        "to_copy_2swap",
+        "entry_type",
+        "params",
+        "nested",
+        "last_use",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        virtual_ptr: int,
+        size: int,
+        entry_type: EntryType = EntryType.LINEAR,
+        params: Optional[Any] = None,
+    ):
+        self.virtual_ptr = virtual_ptr
+        self.swap_ptr: Optional[int] = None
+        self.device_ptr: Optional[int] = None
+        self.size = size
+        self.is_allocated = False
+        self.to_copy_2dev = False
+        self.to_copy_2swap = False
+        self.entry_type = entry_type
+        self.params = params
+        #: Nested-structure descriptor (None for flat allocations).
+        self.nested = None
+        #: Simulated time of the last launch referencing this entry
+        #: (victim choice for intra-application swap).
+        self.last_use = 0.0
+        self.seq = next(_entry_seq)
+
+    # -- state machine (Figure 4) --------------------------------------
+    @property
+    def flags(self):
+        return (self.is_allocated, self.to_copy_2dev, self.to_copy_2swap)
+
+    def check_invariants(self) -> None:
+        if self.flags not in _LEGAL_STATES:
+            raise AssertionError(f"illegal PTE state {self.flags} for {self!r}")
+        if self.is_allocated and self.device_ptr is None:
+            raise AssertionError(f"allocated PTE without device pointer: {self!r}")
+        if not self.is_allocated and self.device_ptr is not None:
+            raise AssertionError(f"unallocated PTE with device pointer: {self!r}")
+
+    def on_host_write(self) -> None:
+        """copy_HD intercepted: the swap copy is now authoritative."""
+        self.to_copy_2dev = True
+        self.to_copy_2swap = False
+        self.check_invariants()
+
+    def on_device_allocated(self, device_ptr: int) -> None:
+        self.is_allocated = True
+        self.device_ptr = device_ptr
+        self.check_invariants()
+
+    def on_copied_to_device(self) -> None:
+        """The deferred H2D transfer happened (launch preparation)."""
+        assert self.is_allocated
+        self.to_copy_2dev = False
+        self.check_invariants()
+
+    def on_kernel_write(self, now: float) -> None:
+        """A launch referenced this entry as writable."""
+        assert self.is_allocated and not self.to_copy_2dev
+        self.to_copy_2swap = True
+        self.last_use = now
+        self.check_invariants()
+
+    def on_kernel_read(self, now: float) -> None:
+        """A launch referenced this entry read-only."""
+        assert self.is_allocated and not self.to_copy_2dev
+        self.last_use = now
+        self.check_invariants()
+
+    def on_copied_to_swap(self) -> None:
+        """The dirty device copy was written back (copy_DH / checkpoint)."""
+        self.to_copy_2swap = False
+        self.check_invariants()
+
+    def on_device_released(self) -> None:
+        """Device memory freed (swap-out); swap copy is authoritative."""
+        assert not self.to_copy_2swap, "must write back before releasing"
+        self.is_allocated = False
+        self.device_ptr = None
+        self.to_copy_2dev = True
+        self.check_invariants()
+
+    def __repr__(self) -> str:
+        return (
+            f"<PTE v=0x{self.virtual_ptr:x} size={self.size} "
+            f"A={int(self.is_allocated)} D={int(self.to_copy_2dev)} "
+            f"S={int(self.to_copy_2swap)}>"
+        )
+
+
+class PageTable:
+    """All PTEs for all active and pending contexts on a node.
+
+    Mirrors the paper's ``map<Context*, list<PageTableEntry*>*>`` plus an
+    index by virtual address for O(1) translation.
+    """
+
+    def __init__(self):
+        self._by_context: Dict[Any, List[PageTableEntry]] = {}
+        self._by_vptr: Dict[int, PageTableEntry] = {}
+        self._vptr_cursor = VIRTUAL_BASE
+        #: Upper bound of the virtual address space (Table 1: "A virtual
+        #: address cannot be assigned").
+        self.virtual_space_limit = VIRTUAL_BASE + (1 << 44)
+
+    # ------------------------------------------------------------------
+    def assign_virtual_address(self, size: int) -> int:
+        aligned = (size + VIRTUAL_ALIGNMENT - 1) // VIRTUAL_ALIGNMENT * VIRTUAL_ALIGNMENT
+        if self._vptr_cursor + aligned > self.virtual_space_limit:
+            raise RuntimeApiError(RuntimeErrorCode.VIRTUAL_ADDRESS_EXHAUSTED)
+        vptr = self._vptr_cursor
+        self._vptr_cursor += aligned
+        return vptr
+
+    def create_entry(
+        self,
+        ctx: Any,
+        size: int,
+        entry_type: EntryType = EntryType.LINEAR,
+        params: Optional[Any] = None,
+    ) -> PageTableEntry:
+        vptr = self.assign_virtual_address(size)
+        pte = PageTableEntry(vptr, size, entry_type, params)
+        self._by_context.setdefault(ctx, []).append(pte)
+        self._by_vptr[vptr] = pte
+        return pte
+
+    def lookup(self, ctx: Any, vptr: int) -> PageTableEntry:
+        """Translate a virtual pointer, enforcing per-context isolation."""
+        pte = self._by_vptr.get(vptr)
+        if pte is None or pte not in self._by_context.get(ctx, ()):
+            raise RuntimeApiError(
+                RuntimeErrorCode.NO_VALID_PTE, f"0x{vptr:x} for {ctx!r}"
+            )
+        return pte
+
+    def entries_for(self, ctx: Any) -> List[PageTableEntry]:
+        return list(self._by_context.get(ctx, ()))
+
+    def remove_entry(self, ctx: Any, pte: PageTableEntry) -> None:
+        self._by_context.get(ctx, []).remove(pte)
+        del self._by_vptr[pte.virtual_ptr]
+
+    def drop_context(self, ctx: Any) -> List[PageTableEntry]:
+        """Remove and return every PTE of ``ctx`` (application exit)."""
+        entries = self._by_context.pop(ctx, [])
+        for pte in entries:
+            self._by_vptr.pop(pte.virtual_ptr, None)
+        return entries
+
+    def contexts(self) -> List[Any]:
+        return list(self._by_context)
+
+    def allocated_bytes(self, ctx: Any) -> int:
+        """Device-resident bytes of ``ctx`` (the paper's ``MemUsage``)."""
+        return sum(p.size for p in self._by_context.get(ctx, ()) if p.is_allocated)
+
+    def total_bytes(self, ctx: Any) -> int:
+        return sum(p.size for p in self._by_context.get(ctx, ()))

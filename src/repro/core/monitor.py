@@ -1,0 +1,130 @@
+"""Runtime monitoring: time-series sampling of node health.
+
+The paper's dispatcher "may expose some information to the cluster-level
+scheduler (e.g.: number of GPUs, load level, etc.) so as to guide the
+cluster-level scheduling decisions" (§2).  This module is that
+introspection surface: periodic samples of GPU utilization, vGPU
+occupancy, queue lengths and memory state, plus the one-shot
+:func:`node_report` snapshot a cluster scheduler would poll.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Generator, List, Optional
+
+from repro.core.runtime import NodeRuntime
+
+__all__ = ["Sample", "RuntimeMonitor", "node_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    """One point of the monitoring time series."""
+
+    at: float
+    #: device_id -> fraction of time busy since the previous sample
+    gpu_utilization: Dict[int, float]
+    #: device_id -> used device-memory bytes
+    gpu_memory_used: Dict[int, int]
+    active_vgpus: int
+    total_vgpus: int
+    waiting_contexts: int
+    pending_connections: int
+    swap_used_bytes: int
+    load_per_vgpu: float
+
+
+def node_report(runtime: NodeRuntime) -> Dict[str, object]:
+    """Instantaneous node summary (what the runtime would expose to a
+    GPU-aware cluster scheduler)."""
+    devices = runtime.driver.devices
+    return {
+        "node": runtime.name,
+        "gpus": len(devices),
+        "gpu_names": [d.name for d in devices],
+        "vgpus_total": runtime.scheduler.total_vgpus,
+        "vgpus_active": sum(1 for v in runtime.scheduler.vgpus if v.active),
+        "waiting": runtime.scheduler.waiting_count,
+        "pending_connections": runtime.connections.pending_count,
+        "load_per_vgpu": runtime.load_per_vgpu(),
+        "free_memory_bytes": {d.device_id: d.free_memory for d in devices},
+        "swap_used_bytes": runtime.memory.swap.used_bytes,
+    }
+
+
+class RuntimeMonitor:
+    """Periodic sampler over one runtime.
+
+    ``start(period)`` launches the sampling process; call :meth:`stop`
+    (or pass ``horizon``) so the sampler does not keep the simulation's
+    event queue alive forever.
+    """
+
+    def __init__(self, runtime: NodeRuntime):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.samples: List[Sample] = []
+        self._stopped = False
+        self._last_busy: Dict[int, float] = {}
+        self._last_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self, period: float, horizon: Optional[float] = None) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._stopped = False
+        self.env.process(self._run(period, horizon), name=f"monitor-{self.runtime.name}")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self, period: float, horizon: Optional[float]) -> Generator:
+        started = self.env.now
+        while not self._stopped:
+            if horizon is not None and self.env.now - started >= horizon:
+                return
+            yield self.env.timeout(period)
+            self.take_sample()
+
+    # ------------------------------------------------------------------
+    def take_sample(self) -> Sample:
+        """Record (and return) one sample right now."""
+        now = self.env.now
+        interval = now - self._last_at if self._last_at is not None else now
+        utilization: Dict[int, float] = {}
+        memory: Dict[int, int] = {}
+        for device in self.runtime.driver.devices:
+            prev = self._last_busy.get(device.device_id, 0.0)
+            delta = device.busy_seconds - prev
+            utilization[device.device_id] = (
+                min(1.0, delta / interval) if interval > 0 else 0.0
+            )
+            self._last_busy[device.device_id] = device.busy_seconds
+            memory[device.device_id] = device.allocator.used_bytes
+        self._last_at = now
+        scheduler = self.runtime.scheduler
+        sample = Sample(
+            at=now,
+            gpu_utilization=utilization,
+            gpu_memory_used=memory,
+            active_vgpus=sum(1 for v in scheduler.vgpus if v.active),
+            total_vgpus=scheduler.total_vgpus,
+            waiting_contexts=scheduler.waiting_count,
+            pending_connections=self.runtime.connections.pending_count,
+            swap_used_bytes=self.runtime.memory.swap.used_bytes,
+            load_per_vgpu=self.runtime.load_per_vgpu(),
+        )
+        self.samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    def mean_utilization(self, device_id: int) -> float:
+        values = [s.gpu_utilization.get(device_id, 0.0) for s in self.samples]
+        return sum(values) / len(values) if values else 0.0
+
+    def peak_waiting(self) -> int:
+        return max((s.waiting_contexts for s in self.samples), default=0)
+
+    def peak_swap_bytes(self) -> int:
+        return max((s.swap_used_bytes for s in self.samples), default=0)

@@ -1,0 +1,164 @@
+"""Pluggable scheduling policies (paper §2 "Configurable Scheduling").
+
+A policy makes two decisions for the dispatcher:
+
+- *placement*: given a context to bind and the currently idle vGPUs,
+  which vGPU to use (:meth:`SchedulingPolicy.select_vgpu`);
+- *ordering*: given the waiting-contexts list and a freed vGPU, which
+  context to serve next (:meth:`SchedulingPolicy.pick_next`).
+
+Three policies from the paper's discussion are provided:
+
+``fcfs``
+    First-come-first-served with round-robin placement that keeps the
+    number of active vGPUs uniform across GPUs — the policy used for all
+    of the paper's experiments (§5).
+``sjf``
+    Shortest-job-first, usable when profiling information (an estimated
+    GPU time) accompanies the connection.
+``credit``
+    Credit-based fairness: the context that has consumed the least GPU
+    time so far goes first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.context import Context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.vgpu import VirtualGPU
+
+__all__ = ["SchedulingPolicy", "FcfsPolicy", "SjfPolicy", "CreditPolicy", "make_policy"]
+
+
+class SchedulingPolicy:
+    """Interface for dispatcher scheduling decisions."""
+
+    name = "abstract"
+
+    def select_vgpu(
+        self,
+        ctx: Context,
+        idle_vgpus: Sequence["VirtualGPU"],
+        active_per_device: Dict[int, int],
+        mem_needed: int = 0,
+    ) -> Optional["VirtualGPU"]:
+        """Choose a vGPU for ``ctx`` among ``idle_vgpus`` (None = decline).
+
+        ``active_per_device`` maps device id → number of currently bound
+        vGPUs on that device (for load balancing).
+        """
+        raise NotImplementedError
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        """Choose the next waiting context to serve."""
+        raise NotImplementedError
+
+
+class _BasePolicy(SchedulingPolicy):
+    """Shared placement heuristic: keep active vGPU counts uniform across
+    devices (the paper's load balancing), avoid devices that cannot hold
+    the context's data right now, then favour faster devices."""
+
+    def select_vgpu(
+        self,
+        ctx: Context,
+        idle_vgpus: Sequence["VirtualGPU"],
+        active_per_device: Dict[int, int],
+        mem_needed: int = 0,
+    ) -> Optional["VirtualGPU"]:
+        if not idle_vgpus:
+            return None
+
+        def key(vgpu: "VirtualGPU"):
+            device = vgpu.device
+            memory_short = 1 if device.allocator.free_bytes < mem_needed else 0
+            active = active_per_device.get(device.device_id, 0)
+            # Load per unit of compute: on homogeneous devices this is the
+            # paper's uniform-active-vGPU balancing; on heterogeneous
+            # nodes it avoids oversubscribing the slow GPU.
+            weighted_load = (active + 1) / device.spec.effective_gflops
+            return (
+                memory_short,
+                weighted_load,
+                -device.spec.effective_gflops,
+                device.device_id,
+                vgpu.index,
+            )
+
+        return min(idle_vgpus, key=key)
+
+
+class FcfsPolicy(_BasePolicy):
+    """First-come-first-served (paper's experimental policy)."""
+
+    name = "fcfs"
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        return waiting[0] if waiting else None
+
+
+class SjfPolicy(_BasePolicy):
+    """Shortest-job-first on the profiling hint; FCFS among unknowns."""
+
+    name = "sjf"
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        return min(
+            waiting,
+            key=lambda c: (
+                c.estimated_gpu_seconds
+                if c.estimated_gpu_seconds is not None
+                else float("inf"),
+                c.context_id,
+            ),
+        )
+
+
+class CreditPolicy(_BasePolicy):
+    """Serve the context that has consumed the least GPU time so far."""
+
+    name = "credit"
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        return min(waiting, key=lambda c: (c.gpu_seconds_used, c.context_id))
+
+
+class DeadlinePolicy(_BasePolicy):
+    """Earliest-deadline-first for QoS requirements (paper §2: "yet
+    another scheduling policy may be adopted in the presence of expected
+    quality of service requirements (e.g.: execution deadlines)").
+
+    Contexts without a deadline are served after all deadlined ones, in
+    FCFS order.
+    """
+
+    name = "edf"
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        return min(
+            waiting,
+            key=lambda c: (
+                c.deadline_s if c.deadline_s is not None else float("inf"),
+                c.context_id,
+            ),
+        )
+
+
+_POLICIES = {p.name: p for p in (FcfsPolicy, SjfPolicy, CreditPolicy, DeadlinePolicy)}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by its registered name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(_POLICIES)}") from None

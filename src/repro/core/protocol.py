@@ -1,0 +1,67 @@
+"""Wire protocol between the frontend (intercept library) and the runtime.
+
+Every CUDA Runtime API call an application makes is marshalled into one
+:class:`~repro.net.rpc.Request` whose ``method`` is a :class:`CallType`
+value.  The set mirrors §3 of the paper: device targeting, memory
+allocation/de-allocation, data transfers, code registration, kernel
+configuration/launch — plus the runtime's own additions (nested-structure
+registration, explicit checkpoint).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["CallType", "DEVICE_MANAGEMENT_CALLS", "REGISTRATION_CALLS", "MEMORY_CALLS"]
+
+
+class CallType(str, enum.Enum):
+    """Intercepted call kinds."""
+
+    # internal registration routines (issued by host startup code)
+    REGISTER_FATBIN = "__cudaRegisterFatBinary"
+    REGISTER_FUNCTION = "__cudaRegisterFunction"
+    REGISTER_VAR = "__cudaRegisterVar"
+    REGISTER_SHARED = "__cudaRegisterShared"
+    REGISTER_SHARED_VAR = "__cudaRegisterSharedVar"
+    REGISTER_TEXTURE = "__cudaRegisterTexture"
+
+    # device management (overridden/ignored by the runtime, §4.3)
+    SET_DEVICE = "cudaSetDevice"
+    GET_DEVICE_COUNT = "cudaGetDeviceCount"
+
+    # memory
+    MALLOC = "cudaMalloc"
+    FREE = "cudaFree"
+    MEMCPY_H2D = "cudaMemcpyHtoD"
+    MEMCPY_D2H = "cudaMemcpyDtoH"
+
+    # kernels
+    CONFIGURE_CALL = "cudaConfigureCall"
+    LAUNCH = "cudaLaunch"
+    THREAD_SYNCHRONIZE = "cudaThreadSynchronize"
+
+    # runtime-specific extensions
+    REGISTER_NESTED = "reproRegisterNested"
+    CHECKPOINT = "reproCheckpoint"
+    EXIT = "cudaThreadExit"
+
+
+#: Calls the dispatcher services (and typically overrides) before any
+#: application-to-GPU binding exists.
+DEVICE_MANAGEMENT_CALLS = frozenset({CallType.SET_DEVICE, CallType.GET_DEVICE_COUNT})
+
+REGISTRATION_CALLS = frozenset(
+    {
+        CallType.REGISTER_FATBIN,
+        CallType.REGISTER_FUNCTION,
+        CallType.REGISTER_VAR,
+        CallType.REGISTER_SHARED,
+        CallType.REGISTER_SHARED_VAR,
+        CallType.REGISTER_TEXTURE,
+    }
+)
+
+MEMORY_CALLS = frozenset(
+    {CallType.MALLOC, CallType.FREE, CallType.MEMCPY_H2D, CallType.MEMCPY_D2H}
+)

@@ -1,0 +1,195 @@
+"""NodeRuntime: the per-node daemon (paper Figure 3).
+
+Wires together the connection manager, dispatcher, scheduler (vGPUs),
+memory manager, migration manager and offload manager, and exposes the
+operational surface the experiments drive: start-up, GPU failure /
+hotplug, and load metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, List, Optional, Set
+
+from repro.sim import Environment
+from repro.simcuda.device import GPUDevice, GPUSpec
+from repro.simcuda.driver import CudaDriver
+
+from repro.core.config import RuntimeConfig
+from repro.core.connection import ConnectionManager
+from repro.core.context import Context, ContextState
+from repro.core.dispatcher import Dispatcher
+from repro.core.memory.manager import MemoryManager
+from repro.core.migration import MigrationManager
+from repro.core.offload import OffloadManager
+from repro.core.policies import make_policy
+from repro.core.scheduler import Scheduler
+from repro.core.stats import RuntimeStats
+
+__all__ = ["NodeRuntime"]
+
+_runtime_seq = itertools.count()
+
+
+class NodeRuntime:
+    """The runtime daemon for one compute node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        driver: CudaDriver,
+        config: Optional[RuntimeConfig] = None,
+        name: Optional[str] = None,
+    ):
+        self.env = env
+        self.driver = driver
+        self.config = config or RuntimeConfig()
+        self.name = name or f"runtime{next(_runtime_seq)}"
+        self.stats = RuntimeStats()
+        self.memory = MemoryManager(env, self.config, self.stats)
+        self.scheduler = Scheduler(
+            env, self.config, driver, make_policy(self.config.policy), self.stats
+        )
+        self.connections = ConnectionManager(env, name=self.name)
+        self.dispatcher = Dispatcher(self)
+        self.migration = MigrationManager(self)
+        self.offloader = OffloadManager(self)
+        self._failed_devices: Set[int] = set()
+        self._started = False
+        # Wire the memory manager's collaboration points.
+        self.memory.unbind_callback = self._unbind_after_inter_swap
+        self.memory.bound_contexts_on = self.scheduler.bound_contexts_on
+        self.memory.devices_fn = lambda: [
+            d for d in self.driver.devices if not d.failed
+        ]
+        # Memory-informed placement (§4.5 MemUsage/CapacityList).
+        self.scheduler.mem_needed_fn = self.memory.page_table.total_bytes
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Generator:
+        """Spawn vGPUs (one CUDA context each) and begin serving."""
+        if self._started:
+            return
+        self._started = True
+        self.driver.concurrent_kernels = self.config.kernel_consolidation
+        yield from self.scheduler.start()
+        self.connections.start()
+        self.dispatcher.start()
+        if self.config.unbind_on_cpu_phase_s is not None:
+            self.env.process(self._cpu_phase_reaper(), name=f"{self.name}-reaper")
+
+    @property
+    def listener(self):
+        """Where frontends connect."""
+        return self.connections.listener
+
+    # ------------------------------------------------------------------
+    # device availability (upgrade / downgrade / failure, §4.6)
+    # ------------------------------------------------------------------
+    def fail_device(self, device: GPUDevice) -> None:
+        """Inject a device failure (or hard removal)."""
+        device.fail()
+        self.note_device_failure(device)
+
+    def note_device_failure(self, device: GPUDevice) -> None:
+        """Idempotent: retire the device's vGPUs.  Contexts bound there
+        discover the failure on their next call and go through the
+        dispatcher's recovery path."""
+        if device.device_id in self._failed_devices:
+            return
+        self._failed_devices.add(device.device_id)
+        self.scheduler.retire_device(device)
+
+    def add_device(self, spec: GPUSpec) -> Generator:
+        """Dynamic upgrade: install a GPU and spawn vGPUs on it."""
+        device = self.driver.add_device(spec)
+        yield from self.scheduler.add_device(device)
+        return device
+
+    def remove_device_gracefully(self, device: GPUDevice) -> Generator:
+        """Dynamic downgrade: drain the device, migrating its contexts.
+
+        Bound contexts are swapped out and returned to the scheduler so
+        they rebind elsewhere on their next launch; then the device is
+        removed from the driver.
+        """
+        victims: List[Context] = list(self.scheduler.bound_contexts_on(device))
+        for ctx in victims:
+            yield ctx.lock.acquire()
+            try:
+                if ctx.bound and ctx.vgpu.device is device:
+                    yield from self.memory.swap_out_context(ctx)
+                    self.scheduler.release(ctx, "device downgrade")
+            finally:
+                ctx.lock.release()
+        for vgpu in self.scheduler.vgpus:
+            if vgpu.device is device:
+                vgpu.retired = True
+        self.driver.remove_device(device)
+        self._failed_devices.add(device.device_id)
+
+    # ------------------------------------------------------------------
+    # collaboration points
+    # ------------------------------------------------------------------
+    def _unbind_after_inter_swap(self, victim: Context, reason: str) -> None:
+        self.scheduler.release(victim, reason)
+
+    def _cpu_phase_reaper(self) -> Generator:
+        """Optional: unbind contexts lingering in CPU phases while others
+        wait for a vGPU (time-sharing beyond memory pressure)."""
+        threshold = self.config.unbind_on_cpu_phase_s
+        while True:
+            if self.scheduler.waiting_count == 0:
+                # Sleep until someone actually queues for a vGPU; polling
+                # forever would keep the event queue alive past the last
+                # application.
+                yield self.scheduler.waiting_added.wait()
+                continue
+            yield self.env.timeout(max(threshold / 2, 1e-3))
+            if self.scheduler.waiting_count == 0:
+                continue
+            for ctx in self.scheduler.bound_contexts():
+                if (
+                    ctx.in_cpu_phase
+                    and ctx.cpu_phase_duration(self.env.now) >= threshold
+                    and not ctx.lock.locked
+                    and not ctx.excluded_from_sharing
+                    and ctx.state is ContextState.ASSIGNED
+                ):
+                    self.env.process(self._reap(ctx), name=f"reap-{ctx.owner}")
+
+    def _reap(self, ctx: Context) -> Generator:
+        yield ctx.lock.acquire()
+        try:
+            if (
+                ctx.bound
+                and ctx.in_cpu_phase
+                and self.scheduler.waiting_count > 0
+                and ctx.state is ContextState.ASSIGNED
+            ):
+                yield from self.memory.swap_out_context(ctx)
+                self.scheduler.release(ctx, "cpu-phase unbind")
+        finally:
+            ctx.lock.release()
+
+    # ------------------------------------------------------------------
+    def contexts(self) -> List[Context]:
+        return list(self.dispatcher.contexts)
+
+    def load_per_vgpu(self) -> float:
+        """Offload metric (§4.7): live application threads on this node —
+        connections pending plus contexts not yet finished — per usable
+        vGPU."""
+        capacity = self.scheduler.total_vgpus
+        if capacity == 0:
+            return float("inf")
+        live = sum(1 for c in self.dispatcher.contexts if c.state is not ContextState.DONE)
+        return (live + self.connections.pending_count) / capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"<NodeRuntime {self.name} devices={self.driver.device_count()} "
+            f"vgpus={self.scheduler.total_vgpus} waiting={self.scheduler.waiting_count}>"
+        )

@@ -1,0 +1,229 @@
+"""Binding scheduler: grants vGPUs to contexts.
+
+Keeps the dispatcher's three context lists (paper §4.3): *waiting*
+contexts queue here for a vGPU; *assigned* contexts are the ones bound;
+the *failed* list is managed by the dispatcher's recovery path but vGPU
+retirement on device failure happens here.
+
+The scheduling policy decides both which waiting context is served when a
+vGPU frees and which idle vGPU a context is placed on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.sim import Condition, Environment, Event
+from repro.simcuda.device import GPUDevice
+from repro.simcuda.driver import CudaDriver
+
+from repro.core.config import RuntimeConfig
+from repro.core.context import Context, ContextState
+from repro.core.policies import SchedulingPolicy
+from repro.core.stats import RuntimeStats
+from repro.core.vgpu import VirtualGPU
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Owns the vGPUs and the waiting-contexts list."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: RuntimeConfig,
+        driver: CudaDriver,
+        policy: SchedulingPolicy,
+        stats: RuntimeStats,
+    ):
+        self.env = env
+        self.config = config
+        self.driver = driver
+        self.policy = policy
+        self.stats = stats
+        self.vgpus: List[VirtualGPU] = []
+        #: waiting contexts, with the event each blocks on
+        self._waiting: List[Context] = []
+        self._waiting_events: Dict[Context, Event] = {}
+        #: observers notified when a vGPU becomes idle with no waiters
+        #: (the migration manager hooks in here).
+        self.idle_hooks: List[Callable[[VirtualGPU], None]] = []
+        #: fired whenever a context joins the waiting list (wakes the
+        #: CPU-phase reaper without busy polling).
+        self.waiting_added = Condition(env)
+        #: Wired by the runtime: bytes a context will need on a device
+        #: (the paper's MemUsage-informed placement, §4.5: "whether
+        #: binding an application thread to a GPU can potentially lead to
+        #: exceeding its memory capacity").
+        self.mem_needed_fn: Callable[[Context], int] = lambda c: 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Generator:
+        """Spawn the configured vGPUs for every installed device."""
+        for device in self.driver.devices:
+            yield from self._spawn_vgpus(device)
+
+    def _spawn_vgpus(self, device: GPUDevice) -> Generator:
+        for index in range(self.config.vgpus_per_device):
+            vgpu = VirtualGPU(self.env, self.driver, device, index)
+            yield from vgpu.start()
+            self.vgpus.append(vgpu)
+
+    def add_device(self, device: GPUDevice) -> Generator:
+        """Dynamic GPU upgrade: spawn vGPUs and serve waiting contexts."""
+        yield from self._spawn_vgpus(device)
+        self._grant_waiting()
+
+    def retire_device(self, device: GPUDevice) -> List[Context]:
+        """Dynamic downgrade / failure: retire the device's vGPUs.
+
+        Returns the contexts that were bound there (the dispatcher moves
+        them through recovery).
+        """
+        orphans: List[Context] = []
+        for vgpu in self.vgpus:
+            if vgpu.device is device:
+                vgpu.retired = True
+                if vgpu.bound_context is not None:
+                    orphans.append(vgpu.bound_context)
+        return orphans
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def total_vgpus(self) -> int:
+        return sum(1 for v in self.vgpus if not v.retired)
+
+    def idle_vgpus(self) -> List[VirtualGPU]:
+        return [v for v in self.vgpus if v.idle and not getattr(v, "reserved", False)]
+
+    def active_per_device(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for v in self.vgpus:
+            if v.active:
+                counts[v.device.device_id] = counts.get(v.device.device_id, 0) + 1
+        return counts
+
+    def bound_contexts(self) -> List[Context]:
+        return [v.bound_context for v in self.vgpus if v.bound_context is not None]
+
+    def bound_contexts_on(self, device: GPUDevice) -> List[Context]:
+        return [
+            v.bound_context
+            for v in self.vgpus
+            if v.device is device and v.bound_context is not None
+        ]
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waiting)
+
+    def load_per_vgpu(self) -> float:
+        """Bound + waiting contexts per usable vGPU (offload metric)."""
+        capacity = self.total_vgpus
+        if capacity == 0:
+            return float("inf")
+        return (len(self.bound_contexts()) + len(self._waiting)) / capacity
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def required_device(self, ctx: Context) -> Optional[GPUDevice]:
+        """CUDA 4.0 semantics (§4.8): if a sibling thread of the same
+        application is already bound, this context must use that device
+        (the threads share data in one CUDA context on the GPU)."""
+        if not self.config.cuda4_semantics or not ctx.application_id:
+            return None
+        for other in self.bound_contexts():
+            if other is not ctx and other.application_id == ctx.application_id:
+                return other.vgpu.device
+        return None
+
+    def _satisfying_idle(self, ctx: Context, idle: List[VirtualGPU]) -> List[VirtualGPU]:
+        device = self.required_device(ctx)
+        if device is None:
+            return idle
+        return [v for v in idle if v.device is device]
+
+    def request_binding(self, ctx: Context, front: bool = False) -> Generator:
+        """Block until ``ctx`` is bound to a vGPU."""
+        if ctx.bound:
+            return
+        idle = self._satisfying_idle(ctx, self.idle_vgpus())
+        if idle and not self._waiting:
+            self._bind(ctx, self._choose_vgpu(ctx, idle))
+            return
+        ctx.state = ContextState.WAITING
+        ev = Event(self.env)
+        self._waiting_events[ctx] = ev
+        if front:
+            self._waiting.insert(0, ctx)
+        else:
+            self._waiting.append(ctx)
+        self.waiting_added.notify_all()
+        # A vGPU may be idle while waiters exist (policy reordering);
+        # try a grant round before blocking.
+        self._grant_waiting()
+        yield ev
+        assert ctx.bound
+
+    def release(self, ctx: Context, reason: str = "") -> None:
+        """Unbind ``ctx`` from its vGPU and serve the next waiter."""
+        vgpu = ctx.vgpu
+        if vgpu is None:
+            return
+        vgpu.unbind(ctx)
+        if ctx.state is ContextState.ASSIGNED:
+            ctx.state = ContextState.PENDING
+        self.stats.unbindings += 1
+        self._grant_waiting()
+        if vgpu.idle and not self._waiting:
+            for hook in self.idle_hooks:
+                hook(vgpu)
+
+    def cancel_wait(self, ctx: Context) -> None:
+        """Remove a context from the waiting list (exit while queued)."""
+        if ctx in self._waiting:
+            self._waiting.remove(ctx)
+            self._waiting_events.pop(ctx, None)
+
+    # ------------------------------------------------------------------
+    def _choose_vgpu(self, ctx: Context, idle: List[VirtualGPU]) -> VirtualGPU:
+        mem_needed = self.mem_needed_fn(ctx)
+        vgpu = self.policy.select_vgpu(ctx, idle, self.active_per_device(), mem_needed)
+        return vgpu if vgpu is not None else idle[0]
+
+    def _bind(self, ctx: Context, vgpu: VirtualGPU) -> None:
+        vgpu.bind(ctx)
+        ctx.state = ContextState.ASSIGNED
+        self.stats.bindings += 1
+
+    def _grant_waiting(self) -> None:
+        while self._waiting:
+            idle = self.idle_vgpus()
+            if not idle:
+                return
+            # Serve in policy order, skipping contexts whose device
+            # affinity (CUDA 4.0 sibling constraint) cannot currently be
+            # satisfied — they must not block unconstrained waiters.
+            candidates = list(self._waiting)
+            granted = False
+            while candidates:
+                ctx = self.policy.pick_next(candidates)
+                if ctx is None:
+                    return
+                usable = self._satisfying_idle(ctx, idle)
+                if usable:
+                    self._waiting.remove(ctx)
+                    ev = self._waiting_events.pop(ctx)
+                    self._bind(ctx, self._choose_vgpu(ctx, usable))
+                    ev.succeed()
+                    granted = True
+                    break
+                candidates.remove(ctx)
+            if not granted:
+                return

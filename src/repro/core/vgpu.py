@@ -1,0 +1,111 @@
+"""Virtual GPUs (paper §4.4).
+
+A configurable number of vGPUs is spawned for each physical GPU; each is
+a worker statically bound to its device (``cudaSetDevice`` at system
+startup) that issues application calls to the CUDA runtime, serving one
+application thread at a time.  Because the CUDA runtime spawns a context
+per vGPU — not per application — the number of live CUDA contexts stays
+bounded regardless of how many applications arrive, which is what lets
+the runtime operate beyond the bare runtime's ~8-context limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro.sim import Environment
+from repro.simcuda.context import CudaContext
+from repro.simcuda.driver import CudaDriver
+from repro.simcuda.device import GPUDevice
+from repro.simcuda.kernels import KernelLaunch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import Context
+
+__all__ = ["VirtualGPU"]
+
+_vgpu_seq = itertools.count(1)
+
+
+class VirtualGPU:
+    """One time-sharing slot on a physical GPU."""
+
+    def __init__(self, env: Environment, driver: CudaDriver, device: GPUDevice, index: int):
+        self.env = env
+        self.driver = driver
+        self.device = device
+        self.index = index
+        self.name = f"vGPU{device.device_id}.{index}"
+        self.seq = next(_vgpu_seq)
+        #: The CUDA context this vGPU works in (created at startup).
+        self.cuda_context: Optional[CudaContext] = None
+        #: The application context currently bound (None = idle).
+        self.bound_context: Optional["Context"] = None
+        self.total_bound_seconds = 0.0
+        self._bound_at: Optional[float] = None
+        self.retired = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> Generator:
+        """Create the vGPU's CUDA context (static cudaSetDevice binding)."""
+        self.cuda_context = yield from self.driver.create_context(
+            self.device, owner=self.name
+        )
+
+    def shutdown(self) -> Generator:
+        """Destroy the CUDA context (device removal / node shutdown)."""
+        self.retired = True
+        if self.cuda_context is not None:
+            yield from self.driver.destroy_context(self.cuda_context)
+            self.cuda_context = None
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return self.bound_context is None and not self.retired and not self.device.failed
+
+    @property
+    def active(self) -> bool:
+        return self.bound_context is not None
+
+    def bind(self, ctx: "Context") -> None:
+        if self.bound_context is not None:
+            raise RuntimeError(f"{self.name} already serves {self.bound_context!r}")
+        if self.retired:
+            raise RuntimeError(f"{self.name} is retired")
+        self.bound_context = ctx
+        self._bound_at = self.env.now
+        ctx.vgpu = self
+
+    def unbind(self, ctx: "Context") -> None:
+        if self.bound_context is not ctx:
+            raise RuntimeError(f"{self.name} does not serve {ctx!r}")
+        self.bound_context = None
+        if self._bound_at is not None:
+            self.total_bound_seconds += self.env.now - self._bound_at
+            self._bound_at = None
+        ctx.vgpu = None
+
+    # ------------------------------------------------------------------
+    # device operations, issued within this vGPU's CUDA context
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> Generator:
+        address = yield from self.driver.malloc(self.cuda_context, size)
+        return address
+
+    def free(self, address: int) -> Generator:
+        yield from self.driver.free(self.cuda_context, address)
+
+    def memcpy_h2d(self, address: int, nbytes: int) -> Generator:
+        yield from self.driver.memcpy_h2d(self.cuda_context, address, nbytes)
+
+    def memcpy_d2h(self, address: int, nbytes: int) -> Generator:
+        yield from self.driver.memcpy_d2h(self.cuda_context, address, nbytes)
+
+    def launch(self, launch: KernelLaunch) -> Generator:
+        yield from self.driver.launch(self.cuda_context, launch)
+
+    def __repr__(self) -> str:
+        who = self.bound_context.owner if self.bound_context else "idle"
+        return f"<VirtualGPU {self.name} [{who}]>"

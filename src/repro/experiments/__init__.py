@@ -1,0 +1,28 @@
+"""Experiment drivers reproducing every table and figure of §5.
+
+- :mod:`repro.experiments.harness` — batch runners and result records;
+- :mod:`repro.experiments.figures` — one driver per paper figure
+  (``fig5`` … ``fig11``) plus the ablations DESIGN.md calls out;
+- :mod:`repro.experiments.report` — text rendering of the series the
+  paper plots.
+"""
+
+from repro.experiments.harness import (
+    BatchResult,
+    run_arrival_process,
+    run_cluster_batch,
+    run_node_batch,
+)
+from repro.experiments import figures
+from repro.experiments.report import format_bars, format_figure, format_table
+
+__all__ = [
+    "BatchResult",
+    "figures",
+    "format_bars",
+    "format_figure",
+    "format_table",
+    "run_arrival_process",
+    "run_cluster_batch",
+    "run_node_batch",
+]

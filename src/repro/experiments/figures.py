@@ -1,0 +1,405 @@
+"""Drivers reproducing the paper's figures (§5.3–§5.4).
+
+Every driver returns a :class:`FigureResult` holding the same series the
+paper plots (plus the bar annotations: swap counts for Figures 7/8,
+migration counts for Figure 9).  Absolute seconds differ from the paper
+— the substrate is a simulator, not the authors' testbed — but the
+shapes (who wins, by what factor, where crossovers fall) are asserted by
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.torque import TorqueMode
+from repro.core.config import RuntimeConfig
+from repro.experiments.harness import run_cluster_batch, run_node_batch
+from repro.sim.rng import RngStreams
+from repro.simcuda.device import QUADRO_2000, TESLA_C1060, TESLA_C2050
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.catalog import SHORT_RUNNING, workload
+from repro.workloads.generator import make_job
+
+__all__ = [
+    "FigureResult",
+    "fig5_overhead",
+    "fig6_sharing",
+    "fig7_swapping",
+    "fig8_mix",
+    "fig9_load_balancing",
+    "fig10_cluster_short",
+    "fig11_cluster_long",
+]
+
+#: The paper's single-node testbed (§5.1): two C2050s and one C1060.
+NODE_3GPU = [TESLA_C2050, TESLA_C2050, TESLA_C1060]
+#: The unbalanced node of §5.3.4: the C1060 replaced by a Quadro 2000.
+NODE_UNBALANCED = [TESLA_C2050, TESLA_C2050, QUADRO_2000]
+#: The two compute nodes of the §5.4 cluster.
+CLUSTER_NODES = [NODE_3GPU, [TESLA_C1060]]
+
+
+@dataclasses.dataclass
+class FigureResult:
+    """One figure's data: x-axis, named series, and bar annotations."""
+
+    figure: str
+    x_label: str
+    x_values: List
+    #: series label → one value per x (total seconds unless stated)
+    series: Dict[str, List[float]]
+    #: annotation label → one count per x (swaps, migrations)
+    annotations: Dict[str, List[int]] = dataclasses.field(default_factory=dict)
+    #: secondary metric (cluster figures report Avg alongside Total)
+    avg_series: Dict[str, List[float]] = dataclasses.field(default_factory=dict)
+
+    def series_value(self, label: str, x) -> float:
+        return self.series[label][self.x_values.index(x)]
+
+
+def _draw_short_specs(rng, count: int) -> List[WorkloadSpec]:
+    picks = rng.integers(0, len(SHORT_RUNNING), size=count)
+    return [SHORT_RUNNING[int(i)] for i in picks]
+
+
+def _jobs_from_specs(specs: Sequence[WorkloadSpec], use_runtime: bool):
+    # Bare-CUDA jobs carry the programmer-defined static binding
+    # (cudaSetDevice(i % #GPUs)); the runtime ignores the same call.
+    return [
+        make_job(
+            spec,
+            name=f"{spec.tag}#{i}",
+            use_runtime=use_runtime,
+            static_device=i,
+        )
+        for i, spec in enumerate(specs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — overhead vs bare CUDA runtime (1 GPU, 1–8 short jobs)
+# ---------------------------------------------------------------------------
+
+def fig5_overhead(
+    seed: int = 0,
+    repeats: int = 3,
+    job_counts: Sequence[int] = (1, 2, 4, 8),
+    vgpu_counts: Sequence[int] = (1, 2, 4, 8),
+) -> FigureResult:
+    """§5.3.1: our runtime against the bare CUDA runtime on one GPU.
+
+    The bare runtime is the lower bound; our runtime approaches it as
+    vGPUs (sharing) increase; worst case ≈10% overhead.
+    """
+    rngs = RngStreams(seed)
+    labels = ["CUDA Runtime"] + [f"{k} vGPU" + ("s" if k > 1 else "") for k in vgpu_counts]
+    sums = {label: [0.0] * len(job_counts) for label in labels}
+
+    for rep in range(repeats):
+        rng = rngs.spawn(f"fig5-rep{rep}").stream("jobs")
+        for xi, n in enumerate(job_counts):
+            specs = _draw_short_specs(rng, n)
+            result = run_node_batch(
+                _jobs_from_specs(specs, use_runtime=False),
+                [TESLA_C2050],
+                config=None,
+                label="bare",
+            )
+            sums["CUDA Runtime"][xi] += result.total_time
+            for k, label in zip(vgpu_counts, labels[1:]):
+                result = run_node_batch(
+                    _jobs_from_specs(specs, use_runtime=True),
+                    [TESLA_C2050],
+                    config=RuntimeConfig(vgpus_per_device=k),
+                    label=label,
+                )
+                sums[label][xi] += result.total_time
+
+    series = {label: [v / repeats for v in vals] for label, vals in sums.items()}
+    return FigureResult(
+        figure="Figure 5",
+        x_label="# of jobs",
+        x_values=list(job_counts),
+        series=series,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — GPU sharing with 3 GPUs, 8–48 short jobs
+# ---------------------------------------------------------------------------
+
+def fig6_sharing(
+    seed: int = 0,
+    repeats: int = 3,
+    job_counts: Sequence[int] = (8, 16, 32, 48),
+    vgpu_counts: Sequence[int] = (1, 2, 4),
+    bare_limit: int = 8,
+) -> FigureResult:
+    """§5.3.2: sharing on the 3-GPU node.  The bare CUDA runtime cannot
+    handle more than 8 concurrent jobs, so its series stops there."""
+    rngs = RngStreams(seed)
+    labels = ["CUDA runtime"] + [f"{k} vGPU" + ("s" if k > 1 else "") for k in vgpu_counts]
+    sums: Dict[str, List[Optional[float]]] = {
+        label: [0.0] * len(job_counts) for label in labels
+    }
+
+    for rep in range(repeats):
+        rng = rngs.spawn(f"fig6-rep{rep}").stream("jobs")
+        for xi, n in enumerate(job_counts):
+            specs = _draw_short_specs(rng, n)
+            if n <= bare_limit:
+                result = run_node_batch(
+                    _jobs_from_specs(specs, use_runtime=False),
+                    NODE_3GPU,
+                    config=None,
+                )
+                sums["CUDA runtime"][xi] += result.total_time
+            else:
+                sums["CUDA runtime"][xi] = None
+            for k, label in zip(vgpu_counts, labels[1:]):
+                result = run_node_batch(
+                    _jobs_from_specs(specs, use_runtime=True),
+                    NODE_3GPU,
+                    config=RuntimeConfig(vgpus_per_device=k),
+                )
+                sums[label][xi] += result.total_time
+
+    series = {
+        label: [None if v is None else v / repeats for v in vals]
+        for label, vals in sums.items()
+    }
+    return FigureResult(
+        figure="Figure 6",
+        x_label="# of jobs",
+        x_values=list(job_counts),
+        series=series,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — conflicting memory needs: effect of swapping (36 MM-L jobs)
+# ---------------------------------------------------------------------------
+
+def fig7_swapping(
+    seed: int = 0,
+    cpu_fractions: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+    njobs: int = 36,
+) -> FigureResult:
+    """§5.3.3: serialized execution grows linearly with the CPU fraction;
+    GPU sharing (4 vGPUs) keeps total time ~constant thanks to swapping."""
+    serialized, sharing, swaps = [], [], []
+    for fraction in cpu_fractions:
+        spec = workload("MM-L").with_cpu_fraction(fraction)
+        jobs = lambda: [
+            make_job(spec, name=f"MM-L#{i}", use_runtime=True) for i in range(njobs)
+        ]
+        r1 = run_node_batch(jobs(), NODE_3GPU, RuntimeConfig(vgpus_per_device=1))
+        r4 = run_node_batch(jobs(), NODE_3GPU, RuntimeConfig(vgpus_per_device=4))
+        serialized.append(r1.total_time)
+        sharing.append(r4.total_time)
+        swaps.append(r4.swaps)
+    return FigureResult(
+        figure="Figure 7",
+        x_label="Fraction of CPU code",
+        x_values=list(cpu_fractions),
+        series={
+            "serialized execution (1 vGPU)": serialized,
+            "GPU sharing (4 vGPUs)": sharing,
+        },
+        annotations={"swaps (4 vGPUs)": swaps},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — BS-L / MM-L workload mix
+# ---------------------------------------------------------------------------
+
+def fig8_mix(
+    seed: int = 0,
+    mixes: Sequence[Tuple[int, int]] = ((36, 0), (27, 9), (18, 18), (9, 27), (0, 36)),
+    mml_cpu_fraction: float = 1.0,
+) -> FigureResult:
+    """§5.3.3: 36 jobs mixing GPU-intensive BS-L with CPU-phase-heavy,
+    memory-hungry MM-L.  Sharing gains grow as MM-L dominates; at a
+    75/25 mix the swap overhead makes sharing slightly worse."""
+    bsl = workload("BS-L")
+    mml = workload("MM-L").with_cpu_fraction(mml_cpu_fraction)
+    serialized, sharing, swaps = [], [], []
+    x_labels = []
+    for n_bs, n_mm in mixes:
+        x_labels.append(f"{int(100 * n_bs / (n_bs + n_mm))}/{int(100 * n_mm / (n_bs + n_mm))}")
+
+        def jobs():
+            out = []
+            # Interleave so round-robin placement mixes classes per GPU.
+            for i in range(max(n_bs, n_mm)):
+                if i < n_bs:
+                    out.append(make_job(bsl, name=f"BS-L#{i}", use_runtime=True))
+                if i < n_mm:
+                    out.append(make_job(mml, name=f"MM-L#{i}", use_runtime=True))
+            return out
+
+        r1 = run_node_batch(jobs(), NODE_3GPU, RuntimeConfig(vgpus_per_device=1))
+        r4 = run_node_batch(jobs(), NODE_3GPU, RuntimeConfig(vgpus_per_device=4))
+        serialized.append(r1.total_time)
+        sharing.append(r4.total_time)
+        swaps.append(r4.swaps)
+    return FigureResult(
+        figure="Figure 8",
+        x_label="Workload composition - Fraction BlackScholes/Matmul",
+        x_values=x_labels,
+        series={
+            "serialized execution (1 vGPU)": serialized,
+            "GPU sharing (4 vGPUs)": sharing,
+        },
+        annotations={"swaps (4 vGPUs)": swaps},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — unbalanced node: load balancing through dynamic binding
+# ---------------------------------------------------------------------------
+
+def fig9_load_balancing(
+    seed: int = 0,
+    job_counts: Sequence[int] = (12, 24, 36),
+    cpu_fractions: Sequence[float] = (0.0, 1.0),
+) -> FigureResult:
+    """§5.3.4: 2×C2050 + Quadro 2000, MM-S jobs.  Migrating jobs from the
+    slow to the fast GPUs helps small batches; with many pending jobs the
+    fast GPUs serve the queue instead (few or no migrations)."""
+    x_values: List[str] = []
+    no_lb: List[float] = []
+    with_lb: List[float] = []
+    migrations: List[int] = []
+    for fraction in cpu_fractions:
+        spec = workload("MM-S").with_cpu_fraction(fraction)
+        for n in job_counts:
+            x_values.append(f"{n} jobs, cpu={fraction:g}")
+            jobs = lambda: [
+                make_job(spec, name=f"MM-S#{i}", use_runtime=True) for i in range(n)
+            ]
+            r_static = run_node_batch(
+                jobs(),
+                NODE_UNBALANCED,
+                RuntimeConfig(vgpus_per_device=4, migration_enabled=False),
+            )
+            r_dynamic = run_node_batch(
+                jobs(),
+                NODE_UNBALANCED,
+                RuntimeConfig(vgpus_per_device=4, migration_enabled=True),
+            )
+            no_lb.append(r_static.total_time)
+            with_lb.append(r_dynamic.total_time)
+            migrations.append(r_dynamic.migrations)
+    return FigureResult(
+        figure="Figure 9",
+        x_label="# of jobs (per CPU fraction)",
+        x_values=x_values,
+        series={
+            "no load balancing": no_lb,
+            "load balancing through dynamic binding": with_lb,
+        },
+        annotations={"migrations": migrations},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — two-node cluster, short jobs, TORQUE
+# ---------------------------------------------------------------------------
+
+def _cluster_configs() -> Dict[str, RuntimeConfig]:
+    return {
+        "serialized execution": RuntimeConfig(vgpus_per_device=1),
+        "GPU sharing (4 vGPUs)": RuntimeConfig(vgpus_per_device=4),
+        "GPU sharing + load balancing": RuntimeConfig(
+            vgpus_per_device=4, offload_enabled=True
+        ),
+    }
+
+
+def fig10_cluster_short(
+    seed: int = 0,
+    repeats: int = 3,
+    job_counts: Sequence[int] = (32, 48),
+) -> FigureResult:
+    """§5.4: short jobs through TORQUE on the unbalanced 2-node cluster.
+    GPU sharing beats serialized by up to ~28%; inter-node offloading
+    adds up to ~18%."""
+    rngs = RngStreams(seed)
+    configs = _cluster_configs()
+    totals = {label: [0.0] * len(job_counts) for label in configs}
+    avgs = {label: [0.0] * len(job_counts) for label in configs}
+    for rep in range(repeats):
+        rng = rngs.spawn(f"fig10-rep{rep}").stream("jobs")
+        for xi, n in enumerate(job_counts):
+            specs = _draw_short_specs(rng, n)
+            for label, config in configs.items():
+                result = run_cluster_batch(
+                    _jobs_from_specs(specs, use_runtime=True),
+                    CLUSTER_NODES,
+                    config,
+                    mode=TorqueMode.OBLIVIOUS,
+                    label=label,
+                )
+                totals[label][xi] += result.total_time
+                avgs[label][xi] += result.avg_time
+    return FigureResult(
+        figure="Figure 10",
+        x_label="# of jobs",
+        x_values=list(job_counts),
+        series={k: [v / repeats for v in vals] for k, vals in totals.items()},
+        avg_series={k: [v / repeats for v in vals] for k, vals in avgs.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — two-node cluster, long jobs with conflicting memory
+# ---------------------------------------------------------------------------
+
+def fig11_cluster_long(
+    seed: int = 0,
+    job_counts: Sequence[int] = (16, 32, 48),
+    bsl_share: float = 0.25,
+    mml_cpu_fraction: float = 1.0,
+) -> FigureResult:
+    """§5.4: BS-L and MM-L jobs (25/75) through TORQUE.  Sharing wins by
+    up to ~50% despite swap overhead; offloading accelerates further."""
+    configs = _cluster_configs()
+    bsl = workload("BS-L")
+    mml = workload("MM-L").with_cpu_fraction(mml_cpu_fraction)
+    totals = {label: [] for label in configs}
+    avgs = {label: [] for label in configs}
+    swaps = []
+    for n in job_counts:
+        n_bs = round(n * bsl_share)
+
+        def jobs():
+            out = []
+            for i in range(n):
+                spec = bsl if i % 4 == 0 and i // 4 < n_bs else mml
+                out.append(
+                    make_job(spec, name=f"{spec.tag}#{i}", use_runtime=True)
+                )
+            return out
+
+        swap_count = 0
+        for label, config in configs.items():
+            result = run_cluster_batch(
+                jobs(), CLUSTER_NODES, config, mode=TorqueMode.OBLIVIOUS, label=label
+            )
+            totals[label].append(result.total_time)
+            avgs[label].append(result.avg_time)
+            if label == "GPU sharing (4 vGPUs)":
+                swap_count = result.swaps
+        swaps.append(swap_count)
+    return FigureResult(
+        figure="Figure 11",
+        x_label="# of jobs",
+        x_values=list(job_counts),
+        series=totals,
+        avg_series=avgs,
+        annotations={"swaps (4 vGPUs)": swaps},
+    )

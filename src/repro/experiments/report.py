@@ -1,0 +1,95 @@
+"""Text rendering of figure results — the rows/series the paper plots,
+as fixed-width tables and ASCII bar charts."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["format_table", "format_figure", "format_bars"]
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Plain fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f}"
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one figure's series (and annotations) as a table."""
+    headers = [result.x_label] + list(result.series)
+    if result.avg_series:
+        headers += [f"Avg: {label}" for label in result.avg_series]
+    headers += list(result.annotations)
+    rows = []
+    for i, x in enumerate(result.x_values):
+        row = [str(x)]
+        for label in result.series:
+            row.append(_fmt(result.series[label][i]))
+        for label in result.avg_series:
+            row.append(_fmt(result.avg_series[label][i]))
+        for label in result.annotations:
+            row.append(str(result.annotations[label][i]))
+        rows.append(row)
+    title = f"== {result.figure} (simulated seconds) =="
+    return title + "\n" + format_table(headers, rows)
+
+
+def format_bars(result: FigureResult, width: int = 48) -> str:
+    """Render the figure as grouped horizontal ASCII bars — the visual
+    form of the paper's charts.
+
+    One group per x value; one bar per series; swap/migration
+    annotations appended to the bar they annotate.
+    """
+    values = [
+        v
+        for series in result.series.values()
+        for v in series
+        if v is not None
+    ]
+    if not values:
+        return f"== {result.figure} == (no data)"
+    peak = max(values)
+    label_width = max(len(label) for label in result.series)
+    lines = [f"== {result.figure} ==  (each '█' ≈ {peak / width:.1f} s)"]
+    for i, x in enumerate(result.x_values):
+        lines.append(f"{result.x_label} = {x}")
+        for label, series in result.series.items():
+            value = series[i]
+            if value is None:
+                lines.append(f"  {label.ljust(label_width)} |  (n/a)")
+                continue
+            bar = "█" * max(1, round(value / peak * width))
+            note = ""
+            for ann_label, counts in result.annotations.items():
+                # "swaps (4 vGPUs)" annotates the "(4 vGPUs)" series;
+                # unqualified annotations go on the non-baseline series.
+                paren = ann_label[ann_label.find("(") :] if "(" in ann_label else None
+                applies = (
+                    paren in label
+                    if paren
+                    else label != next(iter(result.series))
+                )
+                if applies:
+                    note = f"  [{ann_label.split(' (')[0]}={counts[i]}]"
+            lines.append(
+                f"  {label.ljust(label_width)} |{bar} {value:.1f}{note}"
+            )
+    return "\n".join(lines)

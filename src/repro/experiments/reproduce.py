@@ -1,0 +1,70 @@
+"""Reproduce every figure in one run.
+
+Usage::
+
+    python -m repro.experiments.reproduce            # all figures
+    python -m repro.experiments.reproduce fig7 fig9  # a subset
+    python -m repro.experiments.reproduce --quick    # reduced repeats
+
+Prints the series each paper figure plots (simulated seconds, plus swap
+and migration counts).  Deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+from repro.experiments.report import format_bars, format_figure
+
+__all__ = ["main"]
+
+RUNNERS = {
+    "fig5": lambda seed, quick: figures.fig5_overhead(
+        seed=seed, repeats=1 if quick else 3
+    ),
+    "fig6": lambda seed, quick: figures.fig6_sharing(
+        seed=seed, repeats=1 if quick else 3
+    ),
+    "fig7": lambda seed, quick: figures.fig7_swapping(
+        seed=seed, cpu_fractions=(0.0, 1.0, 2.0) if quick else (0.0, 0.5, 1.0, 1.5, 2.0)
+    ),
+    "fig8": lambda seed, quick: figures.fig8_mix(seed=seed),
+    "fig9": lambda seed, quick: figures.fig9_load_balancing(seed=seed),
+    "fig10": lambda seed, quick: figures.fig10_cluster_short(
+        seed=seed, repeats=1 if quick else 3
+    ),
+    "fig11": lambda seed, quick: figures.fig11_cluster_long(seed=seed),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figures", nargs="*", default=[], metavar="FIG",
+                        help=f"subset to run (default: all of {', '.join(RUNNERS)})")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats / sweep points")
+    parser.add_argument("--bars", action="store_true",
+                        help="also render ASCII bar charts")
+    args = parser.parse_args(argv)
+
+    targets = args.figures or list(RUNNERS)
+    unknown = [t for t in targets if t not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown figure(s) {unknown}; choose from {sorted(RUNNERS)}")
+
+    for target in targets:
+        t0 = time.time()
+        result = RUNNERS[target](args.seed, args.quick)
+        print(format_figure(result))
+        if args.bars:
+            print(format_bars(result))
+        print(f"   [{target} regenerated in {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

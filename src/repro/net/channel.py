@@ -1,0 +1,120 @@
+"""Unidirectional, in-order message channels with latency and bandwidth.
+
+A :class:`Channel` delivers messages in FIFO order.  Each message of
+``nbytes`` occupies the link for ``nbytes/bandwidth`` seconds (store-and-
+forward) and arrives ``latency`` seconds after transmission completes.
+Successive messages pipeline: transmission serializes, propagation
+overlaps — the standard first-order model of a socket over a link.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Generator
+
+from repro.sim import Environment, Store
+
+__all__ = ["LinkSpec", "Channel", "AFUNIX_LINK", "TCP_GBE_LINK", "TCP_10GBE_LINK"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """Link parameters.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    latency_s:
+        One-way propagation delay.
+    bandwidth_bps:
+        Bytes per second the link sustains.
+    per_message_overhead_s:
+        Fixed software cost per message (syscalls, marshalling).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+    per_message_overhead_s: float = 0.0
+
+    def transmit_seconds(self, nbytes: int) -> float:
+        """Time the sender occupies the link for one message."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        return self.per_message_overhead_s + nbytes / self.bandwidth_bps
+
+
+#: Same-host afunix socket (gVirtuS non-virtualized path): sub-µs latency,
+#: memory-bandwidth-ish throughput, but a real per-call overhead — this is
+#: the dominant component of the runtime's interception cost.
+AFUNIX_LINK = LinkSpec(
+    name="afunix", latency_s=2e-6, bandwidth_bps=4e9, per_message_overhead_s=8e-6
+)
+
+#: Gigabit Ethernet TCP (conservative inter-node path).
+TCP_GBE_LINK = LinkSpec(
+    name="tcp-1gbe", latency_s=100e-6, bandwidth_bps=0.110e9, per_message_overhead_s=20e-6
+)
+
+#: 10 GbE TCP (the HPC-cluster interconnect we assume for offloading).
+TCP_10GBE_LINK = LinkSpec(
+    name="tcp-10gbe", latency_s=50e-6, bandwidth_bps=1.1e9, per_message_overhead_s=15e-6
+)
+
+
+class Channel:
+    """One direction of a socket: FIFO delivery with link timing."""
+
+    def __init__(self, env: Environment, link: LinkSpec):
+        self.env = env
+        self.link = link
+        self._inbox: Store = Store(env)
+        self._tx_free = env.event()
+        self._tx_free.succeed()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.closed = False
+
+    def send(self, payload: Any, nbytes: int = 0) -> Generator:
+        """Transmit ``payload``; completes when the link is released.
+
+        The payload arrives at the receiver ``latency_s`` after the
+        transmission finishes.
+        """
+        if self.closed:
+            raise ConnectionError(f"channel over {self.link.name} is closed")
+        # Serialize on the transmitter.
+        while not self._tx_free.processed:
+            yield self._tx_free
+        self._tx_free = self.env.event()
+        try:
+            yield self.env.timeout(self.link.transmit_seconds(nbytes))
+            self.messages_sent += 1
+            self.bytes_sent += nbytes
+            self.env.process(self._deliver(payload))
+        finally:
+            self._tx_free.succeed()
+
+    def _deliver(self, payload: Any) -> Generator:
+        yield self.env.timeout(self.link.latency_s)
+        self._inbox.put(payload)
+
+    def recv(self):
+        """Event yielding the next message (blocks while empty)."""
+        return self._inbox.get()
+
+    def try_recv(self) -> Any:
+        """Non-blocking receive; returns None when empty."""
+        if self._inbox.items:
+            ev = self._inbox.get()
+            return ev.value
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Messages delivered but not yet received."""
+        return len(self._inbox.items)
+
+    def close(self) -> None:
+        self.closed = True

@@ -1,0 +1,111 @@
+"""Request/response framing over sockets.
+
+The frontend library marshals each intercepted CUDA call into a
+:class:`Request` and waits for the matching :class:`Response` — the API
+remoting pattern of gVirtuS/vCUDA/rCUDA that the paper builds on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.net.socket import Socket
+
+__all__ = ["Request", "Response", "RpcClient", "RpcServer"]
+
+_request_ids = itertools.count(1)
+
+#: Baseline marshalled size of a call that carries no bulk data.
+HEADER_BYTES = 64
+
+
+@dataclasses.dataclass
+class Request:
+    """One marshalled call."""
+
+    method: str
+    args: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    payload_bytes: int = 0
+    request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+
+@dataclasses.dataclass
+class Response:
+    """The return code / value of a call."""
+
+    request_id: int
+    value: Any = None
+    error: Optional[BaseException] = None
+    payload_bytes: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+    def unwrap(self) -> Any:
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class RpcClient:
+    """Synchronous call interface over a socket (one call in flight)."""
+
+    def __init__(self, socket: Socket):
+        self.socket = socket
+
+    def call(
+        self, method: str, payload_bytes: int = 0, response_bytes: int = 0, **args: Any
+    ) -> Generator:
+        """Issue a call and wait for its response; returns the value,
+        re-raising any server-side exception."""
+        req = Request(method=method, args=args, payload_bytes=payload_bytes)
+        yield from self.socket.send(req, nbytes=req.wire_bytes)
+        resp = yield self.socket.recv()
+        if not isinstance(resp, Response) or resp.request_id != req.request_id:
+            raise ProtocolError(
+                f"out-of-order response: expected #{req.request_id}, got {resp!r}"
+            )
+        return resp.unwrap()
+
+
+class ProtocolError(Exception):
+    """Framing violated (mismatched response ids)."""
+
+
+class RpcServer:
+    """Serves calls on one socket via a handler coroutine-function.
+
+    ``handler(request)`` must be a generator returning the response value;
+    exceptions it raises are marshalled back to the client.
+    """
+
+    def __init__(self, socket: Socket, handler: Callable[[Request], Generator]):
+        self.socket = socket
+        self.handler = handler
+        self.calls_served = 0
+
+    def serve(self) -> Generator:
+        """Serve until the socket closes (run as an env.process)."""
+        while True:
+            req = yield self.socket.recv()
+            if req is None:  # sentinel: client hung up
+                return
+            value, error, resp_bytes = None, None, 0
+            try:
+                value = yield from self.handler(req)
+                if isinstance(value, tuple) and len(value) == 2 and value[0] == "__bytes__":
+                    resp_bytes, value = value[1], None
+            except BaseException as exc:  # noqa: BLE001 - marshal any error
+                error = exc
+            resp = Response(
+                request_id=req.request_id, value=value, error=error, payload_bytes=resp_bytes
+            )
+            self.calls_served += 1
+            yield from self.socket.send(resp, nbytes=resp.wire_bytes)

@@ -1,0 +1,429 @@
+"""Core of the discrete-event simulation kernel.
+
+The model is cooperative: a *process* is a Python generator that yields
+:class:`Event` objects.  When the yielded event fires, the process is
+resumed with the event's value (or the event's exception is thrown into
+the generator).  The :class:`Environment` advances the virtual clock from
+event to event; nothing in this package ever consults wall-clock time.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3)
+...     return env.now
+>>> p = env.process(hello(env))
+>>> env.run()
+>>> p.value
+3
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "PENDING",
+]
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+#: Scheduling priorities.  URGENT is used internally so that the wake-up
+#: of a process happens before ordinary events scheduled at the same time.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (not for model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value supplied to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulated timeline.
+
+    An event starts *pending*, becomes *triggered* once :meth:`succeed` or
+    :meth:`fail` is called (which also schedules it on the environment
+    queue), and becomes *processed* once its callbacks have run.
+
+    Attributes
+    ----------
+    env:
+        The owning :class:`Environment`.
+    callbacks:
+        List of callables invoked with the event when it is processed.
+        ``None`` after processing.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set to True by a consumer (e.g. Process) that takes ownership
+        #: of a failure; unhandled failures crash the environment.
+        self.defused = False
+
+    # -- state -----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror the outcome of another (triggered) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition -----------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+
+class Initialize(Event):
+    """Internal: the event that starts a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0)
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    The wrapped generator may ``yield`` any :class:`Event`.  ``return``
+    (or falling off the end) triggers this event with the return value;
+    an uncaught exception fails it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event the process is currently waiting on (None when ready
+        #: to run or terminated).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the process terminates."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process must be alive and must not interrupt itself.  The
+        interrupt is delivered as an URGENT event so it preempts any other
+        event scheduled at the same simulated time.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, URGENT, 0)
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the outcome of ``event``."""
+        # Stale wake-up: an interrupt may arrive after the process already
+        # terminated at the same timestep, or the process may have been
+        # resumed by an interrupt while its original target is still
+        # scheduled.  Detect and ignore.
+        if not self.is_alive:
+            return
+        if self._target is not None and event is not self._target and not isinstance(
+            event._value, Interrupt
+        ):
+            return
+
+        # Remove us from the old target's callbacks if we were diverted by
+        # an interrupt.
+        if isinstance(event._value, Interrupt) and self._target is not None:
+            if self._target.callbacks is not None and self._resume in self._target.callbacks:
+                self._target.callbacks.remove(self._resume)
+
+        self.env._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded a non-event: {target!r}"
+                    )
+                if target.processed:
+                    # Already done: loop immediately with its outcome.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        except StopIteration as exc:
+            self._target = None
+            self.succeed(getattr(exc, "value", None))
+        except BaseException as exc:  # noqa: BLE001 - propagate as failure
+            self._target = None
+            self.fail(exc)
+        finally:
+            self.env._active_process = None
+
+
+class ConditionEvent(Event):
+    """Base for AnyOf/AllOf composite events.
+
+    The composite's value is a dict mapping each *triggered* constituent
+    event to its value, in trigger order.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._done: List[Event] = []
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+        if self._check(len(self._done), len(self._events)):
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._on_event(ev)
+                if self.triggered:
+                    break
+            else:
+                ev.callbacks.append(self._on_event)
+
+    @staticmethod
+    def _check(done: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._done.append(event)
+        if self._check(len(self._done), len(self._events)):
+            self.succeed({ev: ev.value for ev in self._done})
+
+
+class AnyOf(ConditionEvent):
+    """Fires when any constituent event fires."""
+
+    @staticmethod
+    def _check(done: int, total: int) -> bool:
+        return done >= 1 or total == 0
+
+
+class AllOf(ConditionEvent):
+    """Fires when all constituent events have fired."""
+
+    @staticmethod
+    def _check(done: int, total: int) -> bool:
+        return done == total
+
+
+class Environment:
+    """The simulated world: virtual clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (default 0.0).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event creation --------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to queue exhaustion), a number (run
+        until that simulated time), or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise SimulationError("event never triggered; queue exhausted")
+                self.step()
+            if not until.ok:
+                until.defused = True
+                raise until.value
+            return until.value
+        # numeric horizon
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self.peek() <= horizon:
+            self.step()
+        self._now = horizon
+        return None

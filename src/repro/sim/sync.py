@@ -1,0 +1,180 @@
+"""Synchronization primitives built on simulation events.
+
+These mirror ``threading`` primitives but advance on virtual time.  The
+paper's runtime is heavily multithreaded (dispatcher threads, vGPU worker
+threads, per-connection handlers); these primitives make the Python model
+read like the original C++ while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Lock", "Semaphore", "Condition", "FifoQueue"]
+
+
+class Lock:
+    """A mutex.  ``yield lock.acquire()`` … ``lock.release()``.
+
+    Non-reentrant; release by any process is permitted (the runtime's
+    inter-application swap protocol hands locks between vGPU threads).
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        ev = Event(self.env)
+        if not self._locked:
+            self._locked = True
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError("release of unlocked Lock")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed()  # ownership transfers; stays locked
+        else:
+            self._locked = False
+
+    def held(self) -> Generator:
+        """Process-style context: ``with (yield from lock.held()): ...`` is
+        not valid Python for generators, so use explicitly::
+
+            yield lock.acquire()
+            try:
+                ...
+            finally:
+                lock.release()
+        """
+        raise NotImplementedError("use acquire()/release() explicitly")
+
+
+class Semaphore:
+    """Counting semaphore."""
+
+    def __init__(self, env: Environment, value: int = 1):
+        if value < 0:
+            raise SimulationError("semaphore value must be >= 0")
+        self.env = env
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        ev = Event(self.env)
+        if self._value > 0:
+            self._value -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._value += 1
+
+
+class Condition:
+    """Condition variable: ``wait()`` returns an event; ``notify`` wakes.
+
+    Unlike ``threading.Condition`` there is no associated lock — in a
+    cooperative simulation, atomicity between check and wait is automatic
+    as long as no ``yield`` intervenes.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        ev = Event(self.env)
+        self._waiters.append(ev)
+        return ev
+
+    def notify(self, value: Any = None) -> bool:
+        """Wake one waiter.  Returns True if someone was woken."""
+        if self._waiters:
+            self._waiters.popleft().succeed(value)
+            return True
+        return False
+
+    def notify_all(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many."""
+        n = len(self._waiters)
+        while self._waiters:
+            self._waiters.popleft().succeed(value)
+        return n
+
+
+class FifoQueue:
+    """An unbounded FIFO with blocking ``get`` — a thin, intention-revealing
+    wrapper used for the runtime's connection/context lists."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(list(self._items))
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def put_front(self, item: Any) -> None:
+        """Re-queue at the head (used when a dequeued context must retry)."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.appendleft(item)
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def remove(self, item: Any) -> bool:
+        """Remove a specific queued item; True on success."""
+        try:
+            self._items.remove(item)
+            return True
+        except ValueError:
+            return False

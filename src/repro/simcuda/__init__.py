@@ -1,0 +1,54 @@
+"""Simulated CUDA software stack and GPU hardware models.
+
+This package stands in for the real NVIDIA driver + CUDA 3.2 runtime that
+the paper's prototype interposes on.  It reproduces the behaviours the
+paper's evaluation depends on:
+
+- physically separate device memory with finite capacity and a
+  fragmentation-aware allocator (:mod:`repro.simcuda.allocator`);
+- one CUDA context per application thread, with a per-context memory
+  reservation and a hard limit on concurrent contexts per device
+  (the paper observed 8 on a Tesla C2050) — :mod:`repro.simcuda.context`;
+- first-come-first-served service of kernel launches across contexts:
+  one kernel executes on a device at a time (:mod:`repro.simcuda.driver`);
+- PCIe-bandwidth-limited host↔device copies (:mod:`repro.simcuda.timing`);
+- out-of-memory and device failures surfaced as CUDA error codes
+  (:mod:`repro.simcuda.errors`);
+- hardware models of the paper's devices — Tesla C2050, Tesla C1060,
+  Quadro 2000 (:mod:`repro.simcuda.device`).
+"""
+
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.device import (
+    GPUSpec,
+    GPUDevice,
+    INTEL_MIC,
+    TESLA_C2050,
+    TESLA_C1060,
+    QUADRO_2000,
+)
+from repro.simcuda.allocator import DeviceAllocator, OutOfMemory
+from repro.simcuda.context import CudaContext
+from repro.simcuda.kernels import KernelDescriptor, KernelLaunch
+from repro.simcuda.driver import CudaDriver
+from repro.simcuda.runtime_api import CudaRuntimeAPI
+from repro.simcuda.fatbin import FatBinary
+
+__all__ = [
+    "CudaContext",
+    "CudaDriver",
+    "CudaError",
+    "CudaRuntimeAPI",
+    "CudaRuntimeError",
+    "DeviceAllocator",
+    "FatBinary",
+    "GPUDevice",
+    "GPUSpec",
+    "INTEL_MIC",
+    "KernelDescriptor",
+    "KernelLaunch",
+    "OutOfMemory",
+    "QUADRO_2000",
+    "TESLA_C1060",
+    "TESLA_C2050",
+]

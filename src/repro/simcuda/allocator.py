@@ -1,0 +1,156 @@
+"""First-fit device-memory allocator with fragmentation.
+
+The paper notes that "because of possible memory fragmentation on GPU, the
+runtime may need to use the return code of the GPU memory allocation
+function to ensure that the request can be honored" (§4.5) — i.e. coarse
+free-byte accounting is not enough.  This allocator models placement
+explicitly so that fragmentation is observable: total free bytes may be
+sufficient while no single free block is.
+
+Addresses are plain integers within ``[base, base + capacity)``.  A small
+non-zero ``base`` keeps ``0`` available as a NULL-pointer sentinel.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+__all__ = ["DeviceAllocator", "OutOfMemory"]
+
+
+class OutOfMemory(Exception):
+    """Requested block cannot be placed (capacity or fragmentation)."""
+
+
+class DeviceAllocator:
+    """First-fit allocator over a contiguous device address space."""
+
+    #: Allocation granularity (CUDA rounds allocations up; 256 B matches
+    #: the alignment cudaMalloc guarantees).
+    ALIGNMENT = 256
+    BASE_ADDRESS = 0x0200_0000
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        #: Sorted list of (address, size) free blocks.
+        self._free: List[Tuple[int, int]] = [(self.BASE_ADDRESS, self.capacity)]
+        #: address -> size for live allocations.
+        self._live: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        """Total free bytes (may be fragmented)."""
+        return sum(size for _, size in self._free)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.capacity - self.free_bytes
+
+    @property
+    def largest_free_block(self) -> int:
+        """Size of the largest single free block."""
+        return max((size for _, size in self._free), default=0)
+
+    @property
+    def allocation_count(self) -> int:
+        return len(self._live)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free_block/free_bytes; 0 when free space is one block."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _round_up(cls, size: int) -> int:
+        return (size + cls.ALIGNMENT - 1) // cls.ALIGNMENT * cls.ALIGNMENT
+
+    def can_allocate(self, size: int) -> bool:
+        """True if a block of ``size`` bytes can be placed right now."""
+        if size <= 0:
+            return False
+        need = self._round_up(size)
+        return any(blk >= need for _, blk in self._free)
+
+    def allocate(self, size: int) -> int:
+        """Place a block; returns its device address.
+
+        Raises
+        ------
+        OutOfMemory
+            If no single free block can hold the (aligned) request.
+        ValueError
+            If ``size`` is not positive.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        need = self._round_up(size)
+        for i, (addr, blk) in enumerate(self._free):
+            if blk >= need:
+                if blk == need:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (addr + need, blk - need)
+                self._live[addr] = need
+                return addr
+        raise OutOfMemory(
+            f"cannot place {need} bytes: free={self.free_bytes}, "
+            f"largest block={self.largest_free_block}"
+        )
+
+    def free(self, address: int) -> int:
+        """Release a live allocation; returns the freed byte count.
+
+        Raises
+        ------
+        KeyError
+            If ``address`` is not a live allocation (double free / bad ptr).
+        """
+        size = self._live.pop(address)  # KeyError on bad address
+        self._insert_free(address, size)
+        return size
+
+    def owns(self, address: int) -> bool:
+        """True if ``address`` is the start of a live allocation."""
+        return address in self._live
+
+    def size_of(self, address: int) -> int:
+        """Size of the live allocation at ``address``."""
+        return self._live[address]
+
+    def reset(self) -> None:
+        """Drop all allocations (device reset)."""
+        self._free = [(self.BASE_ADDRESS, self.capacity)]
+        self._live.clear()
+
+    # ------------------------------------------------------------------
+    def _insert_free(self, addr: int, size: int) -> None:
+        """Insert a free block, coalescing with neighbours."""
+        idx = bisect.bisect_left(self._free, (addr, 0))
+        # Coalesce with predecessor.
+        if idx > 0:
+            prev_addr, prev_size = self._free[idx - 1]
+            if prev_addr + prev_size == addr:
+                addr = prev_addr
+                size += prev_size
+                self._free.pop(idx - 1)
+                idx -= 1
+        # Coalesce with successor.
+        if idx < len(self._free):
+            next_addr, next_size = self._free[idx]
+            if addr + size == next_addr:
+                size += next_size
+                self._free.pop(idx)
+        self._free.insert(idx, (addr, size))
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeviceAllocator used={self.used_bytes} free={self.free_bytes} "
+            f"blocks={len(self._free)} live={len(self._live)}>"
+        )

@@ -1,0 +1,299 @@
+"""The simulated CUDA driver.
+
+One driver instance exists per node; it owns the node's GPUs and mediates
+every device operation.  All operations are simulation *sub-processes*:
+call them with ``yield from`` inside a process (or wrap in
+``env.process``).  They consume simulated time per :mod:`repro.simcuda.timing`
+and contend on each device's execution/copy engines exactly like CUDA 3.x:
+
+- kernel launches from different contexts are served FCFS, one at a time
+  per device;
+- H2D/D2H copies serialize on the device's DMA engine but can overlap a
+  running kernel;
+- a device failure surfaces as ``cudaErrorDevicesUnavailable`` on every
+  subsequent (and in-flight) operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.sim import Environment
+from repro.simcuda import timing
+from repro.simcuda.allocator import OutOfMemory
+from repro.simcuda.context import CudaContext
+from repro.simcuda.device import GPUDevice, GPUSpec
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.kernels import KernelLaunch
+
+__all__ = ["CudaDriver"]
+
+
+class CudaDriver:
+    """Node-level CUDA driver over a set of :class:`GPUDevice`\\ s."""
+
+    def __init__(self, env: Environment, specs: Optional[List[GPUSpec]] = None):
+        self.env = env
+        #: Kernel consolidation (space-sharing): when True, launches with
+        #: a partial ``sm_demand`` may co-run on a device instead of
+        #: serializing — the Ravi et al. integration enabled by the
+        #: runtime's delayed binding (§6).  Off = CUDA 3.x behaviour.
+        self.concurrent_kernels = False
+        self.devices: List[GPUDevice] = []
+        #: device -> live contexts on it
+        self._contexts: Dict[int, List[CudaContext]] = {}
+        for spec in specs or []:
+            self.add_device(spec)
+
+    # ------------------------------------------------------------------
+    # device management
+    # ------------------------------------------------------------------
+    def add_device(self, spec: GPUSpec) -> GPUDevice:
+        """Install a GPU (system startup or dynamic upgrade)."""
+        device = GPUDevice(self.env, spec)
+        self.devices.append(device)
+        self._contexts[device.device_id] = []
+        return device
+
+    def remove_device(self, device: GPUDevice) -> None:
+        """Remove a GPU (dynamic downgrade).  Live contexts on it start
+        failing with ``cudaErrorDevicesUnavailable``."""
+        device.fail()
+        self.devices.remove(device)
+
+    def device_count(self) -> int:
+        return len(self.devices)
+
+    def get_device(self, device_id: int) -> GPUDevice:
+        for device in self.devices:
+            if device.device_id == device_id:
+                return device
+        raise CudaRuntimeError(CudaError.cudaErrorInvalidDevice, f"no device {device_id}")
+
+    def contexts_on(self, device: GPUDevice) -> List[CudaContext]:
+        return list(self._contexts.get(device.device_id, []))
+
+    # ------------------------------------------------------------------
+    # contexts
+    # ------------------------------------------------------------------
+    def create_context(
+        self, device: GPUDevice, owner: Optional[str] = None
+    ) -> Generator:
+        """Create a context on ``device``; returns the context.
+
+        Enforces the concurrent-context limit the paper measured and the
+        per-context device-memory reservation.
+        """
+        self._check_alive(device)
+        live = self._contexts[device.device_id]
+        if len(live) >= device.spec.max_contexts:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorTooManyContexts,
+                f"{device.name} already has {len(live)} contexts "
+                f"(limit {device.spec.max_contexts})",
+            )
+        ctx = CudaContext(device, owner=owner)
+        try:
+            ctx.reservation_address = device.allocator.allocate(
+                device.spec.context_reservation_bytes
+            )
+        except OutOfMemory as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorMemoryAllocation,
+                f"context reservation failed on {device.name}: {exc}",
+            ) from exc
+        live.append(ctx)
+        yield self.env.timeout(timing.CONTEXT_CREATE_SECONDS)
+        self._check_alive(device)
+        return ctx
+
+    def destroy_context(self, ctx: CudaContext) -> Generator:
+        """Destroy a context, releasing every allocation it made."""
+        if ctx.destroyed:
+            return
+        for address in list(ctx.allocations):
+            if ctx.device.allocator.owns(address):
+                ctx.device.allocator.free(address)
+        ctx.allocations.clear()
+        if ctx.reservation_address is not None and ctx.device.allocator.owns(
+            ctx.reservation_address
+        ):
+            ctx.device.allocator.free(ctx.reservation_address)
+        ctx.reservation_address = None
+        ctx.destroyed = True
+        live = self._contexts.get(ctx.device.device_id)
+        if live and ctx in live:
+            live.remove(ctx)
+        yield self.env.timeout(timing.CONTEXT_DESTROY_SECONDS)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def malloc(self, ctx: CudaContext, size: int) -> Generator:
+        """cudaMalloc: returns a device address."""
+        self._check_context(ctx)
+        if size <= 0:
+            raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, f"size={size}")
+        yield self.env.timeout(timing.MALLOC_OVERHEAD_SECONDS)
+        self._check_context(ctx)
+        try:
+            address = ctx.device.allocator.allocate(size)
+        except OutOfMemory as exc:
+            raise CudaRuntimeError(CudaError.cudaErrorMemoryAllocation, str(exc)) from exc
+        ctx.allocations[address] = ctx.device.allocator.size_of(address)
+        return address
+
+    def free(self, ctx: CudaContext, address: int) -> Generator:
+        """cudaFree."""
+        self._check_context(ctx)
+        if not ctx.owns_pointer(address):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidDevicePointer, f"0x{address:x} not owned by context"
+            )
+        yield self.env.timeout(timing.FREE_OVERHEAD_SECONDS)
+        ctx.device.allocator.free(address)
+        del ctx.allocations[address]
+
+    def memcpy_h2d(self, ctx: CudaContext, address: int, nbytes: int) -> Generator:
+        """Host→device transfer of ``nbytes`` into the allocation at
+        ``address``."""
+        yield from self._memcpy(ctx, address, nbytes, "h2d")
+
+    def memcpy_d2h(self, ctx: CudaContext, address: int, nbytes: int) -> Generator:
+        """Device→host transfer."""
+        yield from self._memcpy(ctx, address, nbytes, "d2h")
+
+    def _memcpy(self, ctx: CudaContext, address: int, nbytes: int, kind: str) -> Generator:
+        self._check_context(ctx)
+        if nbytes < 0:
+            raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, f"nbytes={nbytes}")
+        if not ctx.owns_pointer(address):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidDevicePointer,
+                f"memcpy_{kind} to 0x{address:x} not owned by context",
+            )
+        if nbytes > ctx.allocations[address]:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue,
+                f"memcpy_{kind} of {nbytes} bytes exceeds allocation "
+                f"({ctx.allocations[address]} bytes)",
+            )
+        device = ctx.device
+        with device.copy_engine.request() as req:
+            yield req
+            self._check_context(ctx)
+            yield self.env.timeout(timing.copy_seconds(device.spec, nbytes))
+            self._check_context(ctx)
+            device.bytes_copied += nbytes
+
+    def memcpy_peer(
+        self,
+        src_ctx: CudaContext,
+        src_address: int,
+        dst_ctx: CudaContext,
+        dst_address: int,
+        nbytes: int,
+    ) -> Generator:
+        """Direct GPU-to-GPU transfer (CUDA 4.0 peer access, paper §4.8).
+
+        Occupies both devices' copy engines; bandwidth is bounded by the
+        slower PCIe link (data crosses the host bridge once instead of
+        being staged through host memory twice).
+        """
+        self._check_context(src_ctx)
+        self._check_context(dst_ctx)
+        if src_ctx.device is dst_ctx.device:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue, "peer copy within one device"
+            )
+        for ctx, address in ((src_ctx, src_address), (dst_ctx, dst_address)):
+            if not ctx.owns_pointer(address):
+                raise CudaRuntimeError(
+                    CudaError.cudaErrorInvalidDevicePointer,
+                    f"peer copy pointer 0x{address:x} not owned",
+                )
+        if nbytes > min(src_ctx.allocations[src_address], dst_ctx.allocations[dst_address]):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue, "peer copy exceeds allocation"
+            )
+        bandwidth = min(src_ctx.device.spec.pcie_gbps, dst_ctx.device.spec.pcie_gbps)
+        src_req = src_ctx.device.copy_engine.request()
+        dst_req = dst_ctx.device.copy_engine.request()
+        try:
+            yield src_req
+            yield dst_req
+            self._check_context(src_ctx)
+            self._check_context(dst_ctx)
+            yield self.env.timeout(
+                timing.COPY_LATENCY_SECONDS + nbytes / (bandwidth * 1e9)
+            )
+            self._check_context(src_ctx)
+            self._check_context(dst_ctx)
+            src_ctx.device.bytes_copied += nbytes
+            dst_ctx.device.bytes_copied += nbytes
+        finally:
+            src_ctx.device.copy_engine.release(src_req)
+            dst_ctx.device.copy_engine.release(dst_req)
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def launch(self, ctx: CudaContext, launch: KernelLaunch) -> Generator:
+        """cudaLaunch: execute a kernel FCFS on the context's device.
+
+        Every pointer argument must be a device pointer owned by ``ctx`` —
+        the bare CUDA runtime offers no virtual addressing.
+        """
+        self._check_context(ctx)
+        for ptr in launch.arg_pointers:
+            if not ctx.owns_pointer(ptr):
+                raise CudaRuntimeError(
+                    CudaError.cudaErrorLaunchFailure,
+                    f"kernel {launch.kernel.name!r} dereferences invalid pointer 0x{ptr:x}",
+                )
+        device = ctx.device
+        if self.concurrent_kernels:
+            yield from self._launch_space_shared(ctx, launch)
+            return
+        with device.exec_engine.request() as req:
+            yield req
+            self._check_context(ctx)
+            duration = timing.kernel_seconds(device.spec, launch.kernel)
+            yield self.env.timeout(duration)
+            # A failure mid-kernel is detected at kernel end, as on real
+            # hardware (the launch errors rather than completing).
+            self._check_context(ctx)
+            device.busy_seconds += duration
+            device.kernels_executed += 1
+
+    def _launch_space_shared(self, ctx: CudaContext, launch: KernelLaunch) -> Generator:
+        """Consolidated execution: the launch occupies only the SMs it
+        can fill; co-running kernels slow nothing down as long as the
+        aggregate demand fits the device."""
+        device = ctx.device
+        sm_count = device.spec.sm_count
+        demand = launch.kernel.sm_demand
+        granted = sm_count if demand is None else max(1, min(demand, sm_count))
+        yield device.sm_slots.get(granted)
+        try:
+            self._check_context(ctx)
+            fraction = granted / sm_count
+            duration = timing.kernel_seconds(device.spec, launch.kernel)
+            yield self.env.timeout(duration)
+            self._check_context(ctx)
+            device.busy_seconds += duration * fraction
+            device.kernels_executed += 1
+        finally:
+            device.sm_slots.put(granted)
+
+    # ------------------------------------------------------------------
+    def _check_alive(self, device: GPUDevice) -> None:
+        if device.failed:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorDevicesUnavailable, f"{device.name} failed/removed"
+            )
+
+    def _check_context(self, ctx: CudaContext) -> None:
+        if ctx.destroyed:
+            raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, "context destroyed")
+        self._check_alive(ctx.device)

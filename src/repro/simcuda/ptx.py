@@ -1,0 +1,280 @@
+"""PTX inspection (paper §1).
+
+"Both pointer nesting and dynamic device memory allocation can be
+detected by intercepting and parsing the pseudo-assembly (PTX)
+representation of CUDA kernels sent to the GPU devices."
+
+This module provides that substrate: a faithful-enough subset of the PTX
+ISA text format (versions 2.x, the CUDA 3.2/4.0 era), a parser, and the
+two analyses the runtime needs:
+
+- **dynamic device-side allocation** — a ``call`` to ``malloc``/``free``
+  from device code (introduced with Fermi, sm_20);
+- **pointer nesting** — a value loaded from global memory that is itself
+  used as the address of a subsequent global load/store (a dependent,
+  two-level dereference).
+
+The analyses are conservative in the right direction for the runtime:
+false positives only exclude an application from sharing (safe), never
+the reverse.
+
+Example
+-------
+>>> module = parse_ptx(PTX_SOURCE)
+>>> entry = module.kernels["matmul"]
+>>> entry.uses_dynamic_alloc, entry.has_pointer_nesting
+(False, False)
+>>> entry.to_descriptor(flops=1e9).name
+'matmul'
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.simcuda.kernels import KernelDescriptor
+
+__all__ = ["PtxError", "PtxInstruction", "PtxKernel", "PtxModule", "parse_ptx"]
+
+
+class PtxError(ValueError):
+    """Malformed PTX text."""
+
+
+# .visible .entry matmul ( .param .u64 A, ... )
+_ENTRY_RE = re.compile(
+    r"^\s*(?:\.visible\s+|\.weak\s+)?\.entry\s+([A-Za-z_$][\w$]*)"
+)
+_DIRECTIVE_RE = re.compile(r"^\s*\.(version|target|address_size)\s+(.+?)\s*;?\s*$")
+_REG_DECL_RE = re.compile(r"^\s*\.reg\s+\.\w+\s+(.+?)\s*;\s*$")
+_PARAM_RE = re.compile(r"\.param\s+\.(\w+)\s+([A-Za-z_$][\w$]*)")
+#: opcode[.modifiers...] operands ;
+_INSTR_RE = re.compile(r"^\s*(?:@!?%?\w+\s+)?([a-z]+)((?:\.[a-z0-9_]+)*)\s*(.*?)\s*;\s*$")
+_CALL_TARGET_RE = re.compile(r"\(?\s*[\w%$]*\s*\)?\s*,?\s*([A-Za-z_$][\w$]*)")
+
+
+@dataclasses.dataclass(frozen=True)
+class PtxInstruction:
+    """One parsed instruction."""
+
+    opcode: str
+    modifiers: Tuple[str, ...]
+    operands: Tuple[str, ...]
+    line: int
+
+    @property
+    def state_space(self) -> Optional[str]:
+        """Memory space of a ld/st (global, shared, local, param...)."""
+        for mod in self.modifiers:
+            if mod in ("global", "shared", "local", "param", "const"):
+                return mod
+        return None
+
+    def dest(self) -> Optional[str]:
+        return self.operands[0] if self.operands else None
+
+    def address_register(self) -> Optional[str]:
+        """The register inside a [addr] operand, if any."""
+        for op in self.operands:
+            m = re.match(r"\[\s*([%\w$]+)(?:\s*\+\s*-?\d+)?\s*\]", op)
+            if m:
+                return m.group(1)
+        return None
+
+
+@dataclasses.dataclass
+class PtxKernel:
+    """One ``.entry`` with its body and derived properties."""
+
+    name: str
+    params: List[Tuple[str, str]]  # (type, name)
+    instructions: List[PtxInstruction]
+    uses_dynamic_alloc: bool = False
+    has_pointer_nesting: bool = False
+
+    @property
+    def pointer_params(self) -> List[str]:
+        return [name for type_, name in self.params if type_ in ("u64", "s64", "b64")]
+
+    def to_descriptor(self, flops: float) -> KernelDescriptor:
+        """The registration-time view the runtime keeps (§1)."""
+        return KernelDescriptor(
+            name=self.name,
+            flops=flops,
+            uses_dynamic_alloc=self.uses_dynamic_alloc,
+            has_pointer_nesting=self.has_pointer_nesting,
+        )
+
+
+@dataclasses.dataclass
+class PtxModule:
+    """A parsed PTX translation unit (one fat-binary image)."""
+
+    version: Optional[str]
+    target: Optional[str]
+    address_size: Optional[str]
+    kernels: Dict[str, PtxKernel]
+
+    @property
+    def needs_exclusion_from_sharing(self) -> bool:
+        return any(k.uses_dynamic_alloc for k in self.kernels.values())
+
+    @property
+    def has_pointer_nesting(self) -> bool:
+        return any(k.has_pointer_nesting for k in self.kernels.values())
+
+
+def _strip_comments(text: str) -> List[str]:
+    """Remove // and /* */ comments, preserving line numbers."""
+    text = re.sub(r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), text,
+                  flags=re.S)
+    lines = []
+    for line in text.splitlines():
+        if "//" in line:
+            line = line.split("//", 1)[0]
+        lines.append(line)
+    return lines
+
+
+def parse_ptx(source: str) -> PtxModule:
+    """Parse PTX text into a module, running both analyses per kernel."""
+    lines = _strip_comments(source)
+    version = target = address_size = None
+    kernels: Dict[str, PtxKernel] = {}
+
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i]
+        m = _DIRECTIVE_RE.match(line)
+        if m:
+            key, value = m.groups()
+            if key == "version":
+                version = value
+            elif key == "target":
+                target = value
+            else:
+                address_size = value
+            i += 1
+            continue
+        m = _ENTRY_RE.match(line)
+        if m:
+            name = m.group(1)
+            # Collect the signature up to the opening brace.
+            header = line
+            while "{" not in header:
+                i += 1
+                if i >= n:
+                    raise PtxError(f".entry {name}: missing body")
+                header += " " + lines[i]
+            params = [(t, p) for t, p in _PARAM_RE.findall(header)]
+            # Collect the body to the matching close brace.
+            body_lines: List[Tuple[int, str]] = []
+            depth = header.count("{") - header.count("}")
+            first_line = i
+            while depth > 0:
+                i += 1
+                if i >= n:
+                    raise PtxError(f".entry {name}: unbalanced braces")
+                depth += lines[i].count("{") - lines[i].count("}")
+                body_lines.append((i, lines[i]))
+            instructions = _parse_body(body_lines)
+            kernel = PtxKernel(name=name, params=params, instructions=instructions)
+            kernel.uses_dynamic_alloc = _detect_dynamic_alloc(instructions)
+            kernel.has_pointer_nesting = _detect_pointer_nesting(instructions)
+            kernels[name] = kernel
+        i += 1
+
+    if not kernels and version is None:
+        raise PtxError("no .version directive and no kernels: not PTX?")
+    return PtxModule(
+        version=version, target=target, address_size=address_size, kernels=kernels
+    )
+
+
+def _parse_body(body_lines: List[Tuple[int, str]]) -> List[PtxInstruction]:
+    instructions = []
+    for lineno, raw in body_lines:
+        for stmt in raw.split(";"):
+            stmt = stmt.strip().rstrip("}").strip()
+            if not stmt or stmt.startswith((".", "{", "}")) or stmt.endswith(":"):
+                continue
+            m = _INSTR_RE.match(stmt + ";")
+            if not m:
+                continue
+            opcode, mods, rest = m.groups()
+            modifiers = tuple(x for x in mods.split(".") if x)
+            operands = tuple(
+                op.strip() for op in _split_operands(rest) if op.strip()
+            )
+            instructions.append(
+                PtxInstruction(opcode=opcode, modifiers=modifiers,
+                               operands=operands, line=lineno)
+            )
+    return instructions
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split on commas not inside brackets/parentheses."""
+    out, depth, cur = [], 0, []
+    for ch in rest:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    out.append("".join(cur))
+    return out
+
+
+_ALLOC_SYMBOLS = {"malloc", "free", "vprintf_alloc", "cudaMalloc"}
+
+
+def _detect_dynamic_alloc(instructions: List[PtxInstruction]) -> bool:
+    """A device-side ``call`` to an allocation routine."""
+    for instr in instructions:
+        if instr.opcode != "call":
+            continue
+        for op in instr.operands:
+            target = op.strip().lstrip("(").split(",")[0].strip().rstrip(")")
+            if target in _ALLOC_SYMBOLS:
+                return True
+            m = _CALL_TARGET_RE.search(op)
+            if m and m.group(1) in _ALLOC_SYMBOLS:
+                return True
+    return False
+
+
+def _detect_pointer_nesting(instructions: List[PtxInstruction]) -> bool:
+    """Dependent global dereference: a register produced by a global load
+    is later used as the address of another global load/store.
+
+    Conservative dataflow: moves/adds/converts propagate the "came from
+    global memory" taint.
+    """
+    tainted: Set[str] = set()
+    propagating = {"mov", "add", "sub", "cvt", "cvta", "shl", "or", "and", "mad"}
+    for instr in instructions:
+        if instr.opcode in ("ld", "st") and instr.state_space == "global":
+            addr = instr.address_register()
+            if addr is not None and addr in tainted:
+                return True
+        if instr.opcode == "ld" and instr.state_space == "global":
+            dest = instr.dest()
+            if dest:
+                tainted.add(dest)
+        elif instr.opcode in propagating and instr.operands:
+            dest = instr.operands[0]
+            if any(src in tainted for src in instr.operands[1:]):
+                tainted.add(dest)
+            elif dest in tainted:
+                # overwritten with an untainted value
+                if not any(src in tainted for src in instr.operands[1:]):
+                    tainted.discard(dest)
+    return False

@@ -1,0 +1,181 @@
+"""The CUDA Runtime API, as seen by one application thread.
+
+This is the library an application links against when it runs on the
+*bare* CUDA runtime (the paper's baseline).  Semantics follow CUDA 3.2:
+
+- one context per application thread, created lazily on the first call
+  that needs the device;
+- ``cudaSetDevice`` selects the target device (the programmer-defined,
+  static binding the paper argues against);
+- launches require a prior ``cudaConfigureCall``;
+- errors are returned as CUDA error codes (raised here as
+  :class:`~repro.simcuda.errors.CudaRuntimeError` and also latched for
+  ``cudaGetLastError``).
+
+The paper's frontend library *overrides* this API: under the runtime, the
+same application-side calls are redirected over a connection instead of
+coming here.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.simcuda.context import CudaContext
+from repro.simcuda.driver import CudaDriver
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.fatbin import FatBinary
+from repro.simcuda.kernels import KernelDescriptor, KernelLaunch
+from repro.simcuda import timing
+
+__all__ = ["CudaRuntimeAPI"]
+
+
+class CudaRuntimeAPI:
+    """Per-application-thread CUDA runtime state."""
+
+    def __init__(self, driver: CudaDriver, owner: Optional[str] = None):
+        self.driver = driver
+        self.env = driver.env
+        self.owner = owner
+        self._selected_device_id: Optional[int] = None
+        self._context: Optional[CudaContext] = None
+        self._fatbins: List[FatBinary] = []
+        self._pending_config: Optional[Tuple[Tuple[int, int, int], Tuple[int, int, int]]] = None
+        self.last_error = CudaError.cudaSuccess
+
+    # ------------------------------------------------------------------
+    # internal registration calls (issued by host startup code)
+    # ------------------------------------------------------------------
+    def register_fat_binary(self, fatbin: FatBinary) -> Generator:
+        """``__cudaRegisterFatBinary``."""
+        self._fatbins.append(fatbin)
+        yield self.env.timeout(timing.REGISTRATION_SECONDS)
+        return fatbin.handle
+
+    def register_function(self, fatbin: FatBinary, descriptor: KernelDescriptor) -> Generator:
+        """``__cudaRegisterFunction``."""
+        if fatbin not in self._fatbins:
+            raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, "unregistered fat binary")
+        if descriptor.name not in fatbin.functions:
+            fatbin.register_function(descriptor)
+        yield self.env.timeout(timing.REGISTRATION_SECONDS)
+
+    # ------------------------------------------------------------------
+    # device management
+    # ------------------------------------------------------------------
+    def cuda_get_device_count(self) -> int:
+        return self.driver.device_count()
+
+    def cuda_set_device(self, device_id: int) -> None:
+        """Select the device for this thread's (future) context."""
+        if self._context is not None:
+            # CUDA 3.2: changing devices after the context exists fails.
+            raise self._latch(
+                CudaRuntimeError(
+                    CudaError.cudaErrorSetOnActiveProcess, "context already active"
+                )
+            )
+        self.driver.get_device(device_id)  # validates
+        self._selected_device_id = device_id
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def cuda_malloc(self, size: int) -> Generator:
+        ctx = yield from self._ensure_context()
+        try:
+            address = yield from self.driver.malloc(ctx, size)
+        except CudaRuntimeError as exc:
+            raise self._latch(exc)
+        return address
+
+    def cuda_free(self, address: int) -> Generator:
+        ctx = yield from self._ensure_context()
+        try:
+            yield from self.driver.free(ctx, address)
+        except CudaRuntimeError as exc:
+            raise self._latch(exc)
+
+    def cuda_memcpy_h2d(self, address: int, nbytes: int) -> Generator:
+        ctx = yield from self._ensure_context()
+        try:
+            yield from self.driver.memcpy_h2d(ctx, address, nbytes)
+        except CudaRuntimeError as exc:
+            raise self._latch(exc)
+
+    def cuda_memcpy_d2h(self, address: int, nbytes: int) -> Generator:
+        ctx = yield from self._ensure_context()
+        try:
+            yield from self.driver.memcpy_d2h(ctx, address, nbytes)
+        except CudaRuntimeError as exc:
+            raise self._latch(exc)
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def cuda_configure_call(
+        self,
+        grid: Tuple[int, int, int] = (1, 1, 1),
+        block: Tuple[int, int, int] = (256, 1, 1),
+    ) -> None:
+        self._pending_config = (grid, block)
+
+    def cuda_launch(self, launch: KernelLaunch) -> Generator:
+        if self._pending_config is None:
+            raise self._latch(
+                CudaRuntimeError(
+                    CudaError.cudaErrorMissingConfiguration,
+                    f"cudaLaunch({launch.kernel.name}) without cudaConfigureCall",
+                )
+            )
+        self._pending_config = None
+        ctx = yield from self._ensure_context()
+        try:
+            yield from self.driver.launch(ctx, launch)
+        except CudaRuntimeError as exc:
+            raise self._latch(exc)
+
+    def cuda_thread_synchronize(self) -> Generator:
+        """All simulated calls are synchronous; this is a validity check."""
+        ctx = yield from self._ensure_context()
+        if ctx.device.failed:
+            raise self._latch(
+                CudaRuntimeError(CudaError.cudaErrorDevicesUnavailable, ctx.device.name)
+            )
+
+    def cuda_thread_exit(self) -> Generator:
+        """Tear down this thread's context."""
+        if self._context is not None:
+            yield from self.driver.destroy_context(self._context)
+            self._context = None
+
+    # ------------------------------------------------------------------
+    def cuda_get_last_error(self) -> CudaError:
+        err, self.last_error = self.last_error, CudaError.cudaSuccess
+        return err
+
+    @property
+    def context(self) -> Optional[CudaContext]:
+        return self._context
+
+    # ------------------------------------------------------------------
+    def _ensure_context(self) -> Generator:
+        if self._context is None:
+            if self.driver.device_count() == 0:
+                raise self._latch(
+                    CudaRuntimeError(CudaError.cudaErrorNoDevice, "no CUDA devices")
+                )
+            device_id = self._selected_device_id
+            if device_id is None:
+                device_id = self.driver.devices[0].device_id
+            device = self.driver.get_device(device_id)
+            try:
+                self._context = yield from self.driver.create_context(device, owner=self.owner)
+            except CudaRuntimeError as exc:
+                raise self._latch(exc)
+        return self._context
+
+    def _latch(self, exc: CudaRuntimeError) -> CudaRuntimeError:
+        self.last_error = exc.code
+        return exc

@@ -1,0 +1,76 @@
+"""CUDA streams: in-order asynchronous work queues.
+
+The paper's runtime configuration "defer data transfers" vs "overlap
+computation and communication" (§4.5) maps onto whether copies are issued
+synchronously before a launch or queued on a stream alongside it.  The
+stream model here is deliberately minimal: operations enqueued on one
+stream execute in order; different streams may overlap subject to the
+device's engine resources (one exec engine, one copy engine).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator
+
+from repro.sim import Environment, Store
+from repro.simcuda.context import CudaContext
+from repro.simcuda.driver import CudaDriver
+from repro.simcuda.kernels import KernelLaunch
+
+__all__ = ["Stream"]
+
+_stream_ids = itertools.count(1)
+
+
+class Stream:
+    """An in-order asynchronous queue of device operations."""
+
+    def __init__(self, driver: CudaDriver, ctx: CudaContext):
+        self.stream_id = next(_stream_ids)
+        self.driver = driver
+        self.ctx = ctx
+        self.env: Environment = driver.env
+        self._ops: Store = Store(self.env)
+        self._idle = self.env.event()
+        self._idle.succeed()
+        self._pending = 0
+        self._worker = self.env.process(self._run(), name=f"stream-{self.stream_id}")
+
+    # ------------------------------------------------------------------
+    def memcpy_h2d_async(self, address: int, nbytes: int) -> None:
+        self._enqueue(("h2d", address, nbytes))
+
+    def memcpy_d2h_async(self, address: int, nbytes: int) -> None:
+        self._enqueue(("d2h", address, nbytes))
+
+    def launch_async(self, launch: KernelLaunch) -> None:
+        self._enqueue(("launch", launch, None))
+
+    def synchronize(self) -> Generator:
+        """Block the calling process until all enqueued work has drained."""
+        while self._pending:
+            yield self._idle
+        return None
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, op) -> None:
+        self._pending += 1
+        if self._idle.triggered:
+            self._idle = self.env.event()
+        self._ops.put(op)
+
+    def _run(self) -> Generator:
+        while True:
+            kind, a, b = yield self._ops.get()
+            if kind == "h2d":
+                yield from self.driver.memcpy_h2d(self.ctx, a, b)
+            elif kind == "d2h":
+                yield from self.driver.memcpy_d2h(self.ctx, a, b)
+            elif kind == "launch":
+                yield from self.driver.launch(self.ctx, a)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown stream op {kind!r}")
+            self._pending -= 1
+            if self._pending == 0 and not self._idle.triggered:
+                self._idle.succeed()

@@ -1,0 +1,66 @@
+"""Timing model for the simulated CUDA stack.
+
+All constants are first-order approximations of the 2010-2012 hardware the
+paper used.  The reproduction's claims are about *shapes* (ratios,
+crossovers), which depend on the relative magnitudes encoded here:
+
+- kernels take work/throughput seconds on the execution engine;
+- host↔device copies are PCIe-bandwidth bound;
+- per-call software overheads (launch, malloc) are microseconds —
+  three to six orders of magnitude below kernel/copy times, exactly as on
+  real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.simcuda.device import GPUSpec
+from repro.simcuda.kernels import KernelDescriptor
+
+__all__ = [
+    "kernel_seconds",
+    "copy_seconds",
+    "CONTEXT_CREATE_SECONDS",
+    "CONTEXT_DESTROY_SECONDS",
+    "MALLOC_OVERHEAD_SECONDS",
+    "FREE_OVERHEAD_SECONDS",
+    "LAUNCH_OVERHEAD_SECONDS",
+    "COPY_LATENCY_SECONDS",
+    "REGISTRATION_SECONDS",
+]
+
+#: Creating a CUDA context is expensive (driver init, ~0.1 s in that era).
+CONTEXT_CREATE_SECONDS = 0.08
+CONTEXT_DESTROY_SECONDS = 0.02
+#: cudaMalloc / cudaFree driver round-trips.
+MALLOC_OVERHEAD_SECONDS = 1.0e-4
+FREE_OVERHEAD_SECONDS = 5.0e-5
+#: Kernel-launch software overhead.
+LAUNCH_OVERHEAD_SECONDS = 1.5e-5
+#: Fixed latency component of any memcpy (driver + DMA setup).
+COPY_LATENCY_SECONDS = 1.0e-5
+#: Registering the fat binary / functions at startup.
+REGISTRATION_SECONDS = 1.0e-3
+
+
+def kernel_seconds(spec: GPUSpec, kernel: KernelDescriptor) -> float:
+    """Execution time for one launch of ``kernel`` on ``spec``.
+
+    A kernel that can only fill ``sm_demand`` of the device's SMs runs at
+    the corresponding fraction of peak whether or not it holds the whole
+    device — unused multiprocessors idle, they do not accelerate it.
+    """
+    if kernel.flops < 0:
+        raise ValueError(f"negative kernel flops: {kernel.flops}")
+    fraction = 1.0
+    if kernel.sm_demand is not None:
+        fraction = max(1, min(kernel.sm_demand, spec.sm_count)) / spec.sm_count
+    return LAUNCH_OVERHEAD_SECONDS + kernel.flops / (
+        spec.effective_gflops * fraction * 1e9
+    )
+
+
+def copy_seconds(spec: GPUSpec, nbytes: int) -> float:
+    """DMA time for ``nbytes`` across PCIe (either direction)."""
+    if nbytes < 0:
+        raise ValueError(f"negative copy size: {nbytes}")
+    return COPY_LATENCY_SECONDS + nbytes / (spec.pcie_gbps * 1e9)

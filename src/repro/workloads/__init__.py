@@ -1,0 +1,38 @@
+"""Benchmark application models (paper Table 2).
+
+Thirteen applications from the Rodinia suite and the CUDA SDK, modelled
+as the *call streams* the runtime observes: allocations, host↔device
+transfers, kernel launches (with the paper's per-application kernel-call
+counts) and interleaved CPU phases.  Every application runs unchanged on
+either the bare CUDA runtime or the paper's runtime via the adapter in
+:mod:`repro.workloads.base`.
+"""
+
+from repro.workloads.base import (
+    Application,
+    BareCudaAdapter,
+    DeviceAPI,
+    FrontendAdapter,
+    WorkloadSpec,
+)
+from repro.workloads.catalog import (
+    ALL_WORKLOADS,
+    LONG_RUNNING,
+    SHORT_RUNNING,
+    workload,
+)
+from repro.workloads.generator import draw_short_jobs, make_job
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "Application",
+    "BareCudaAdapter",
+    "DeviceAPI",
+    "draw_short_jobs",
+    "FrontendAdapter",
+    "LONG_RUNNING",
+    "make_job",
+    "SHORT_RUNNING",
+    "workload",
+    "WorkloadSpec",
+]

@@ -1,0 +1,109 @@
+"""CUDA SDK benchmark models (paper Table 2).
+
+Short-running: SP, MT, PR, SC, BS-S, VA.  Long-running: BS-L.
+Kernel-call counts match the paper; sizes follow its problem statements
+with the short-running set scaled to stay conflict-free (the paper:
+"All short-running applications … have memory requirements well below
+the capacity of the GPUs in use").
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadSpec
+
+__all__ = [
+    "SCALAR_PRODUCT",
+    "MATRIX_TRANSPOSE",
+    "PARALLEL_REDUCTION",
+    "SCAN",
+    "BLACK_SCHOLES_SMALL",
+    "VECTOR_ADDITION",
+    "BLACK_SCHOLES_LARGE",
+]
+
+MIB = 1024**2
+
+SCALAR_PRODUCT = WorkloadSpec(
+    name="Scalar Product",
+    tag="SP",
+    description="Scalar product of vector pairs (512 vector pairs of 1M elements, batched)",
+    kernel_calls=1,
+    gpu_seconds_c2050=3.0,
+    # one batch of vector pairs resident at a time + result vector
+    buffer_bytes=(64 * MIB, 64 * MIB, 4 * MIB),
+    read_only_buffers=(0, 1),
+    cpu_fraction=0.05,  # batch staging on the host
+)
+
+MATRIX_TRANSPOSE = WorkloadSpec(
+    name="Matrix Transpose",
+    tag="MT",
+    description="Transpose (384x384) matrix",
+    kernel_calls=816,
+    gpu_seconds_c2050=3.5,
+    buffer_bytes=(576 * 1024, 576 * 1024),  # 384² × 4 B each
+    read_only_buffers=(0,),
+    cpu_fraction=0.10,
+)
+
+PARALLEL_REDUCTION = WorkloadSpec(
+    name="Parallel Reduction",
+    tag="PR",
+    description="Parallel reduction of 4M elements",
+    kernel_calls=801,
+    gpu_seconds_c2050=4.0,
+    buffer_bytes=(16 * MIB, 1 * MIB),
+    read_only_buffers=(0,),
+    cpu_fraction=0.08,  # final reduction stages on the CPU
+)
+
+SCAN = WorkloadSpec(
+    name="Scan",
+    tag="SC",
+    description="Parallel prefix sum of 260K elements",
+    kernel_calls=3300,
+    gpu_seconds_c2050=4.5,
+    buffer_bytes=(1040 * 1024, 1040 * 1024),  # 260K × 4 B
+    read_only_buffers=(0,),
+    cpu_fraction=0.10,
+)
+
+BLACK_SCHOLES_SMALL = WorkloadSpec(
+    name="Black Scholes (small)",
+    tag="BS-S",
+    description="Processing of 4M financial options",
+    kernel_calls=256,
+    gpu_seconds_c2050=4.0,
+    # option parameters (read-only) + call/put results
+    buffer_bytes=(48 * MIB, 16 * MIB, 16 * MIB),
+    read_only_buffers=(0,),
+    cpu_fraction=0.05,
+)
+
+VECTOR_ADDITION = WorkloadSpec(
+    name="Vector Addition",
+    tag="VA",
+    description="Large vector addition (batched streaming of 100M elements)",
+    kernel_calls=1,
+    gpu_seconds_c2050=3.0,
+    # resident batch of A, B, C (the full 100M-element vectors stream
+    # through in batches; one batch is resident per launch)
+    buffer_bytes=(80 * MIB, 80 * MIB, 80 * MIB),
+    read_only_buffers=(0, 1),
+    cpu_fraction=0.05,  # batch staging between streamed chunks
+)
+
+BLACK_SCHOLES_LARGE = WorkloadSpec(
+    name="Black Scholes (large)",
+    tag="BS-L",
+    description="Processing of 40M financial options",
+    kernel_calls=256,
+    gpu_seconds_c2050=36.0,
+    # GPU-intensive with very short CPU phases (paper §5.3.3); memory
+    # sized so four BS-L jobs share a C2050 without conflicts while
+    # BS-L + 2×MM-L exceeds it.
+    buffer_bytes=(480 * MIB, 80 * MIB, 80 * MIB),
+    read_only_buffers=(0,),
+    cpu_fraction=0.02,
+    long_running=True,
+)

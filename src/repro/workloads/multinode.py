@@ -1,0 +1,189 @@
+"""Multi-node applications (paper §7: "we intend to evaluate our runtime
+on larger clusters and on multi-node applications").
+
+A multi-node application is a set of *ranks*, one per compute node, each
+alternating GPU phases (through its node's runtime) with bulk-synchronous
+communication over the cluster interconnect — the structure of MPI+CUDA
+iterative solvers.  Two collectives are modelled:
+
+- :class:`ClusterBarrier` — rendezvous of all ranks (latency-bound);
+- :class:`ClusterAllReduce` — ring all-reduce of a payload
+  (bandwidth-bound: ``2·(n-1)/n × bytes / link_bw`` per step).
+
+The point of running these under the paper's runtime: each rank's GPU
+phases share its node's devices with other tenants; the runtime's
+swapping and scheduling must not break the lock-step structure (a slow
+rank stalls the whole application at the next barrier).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, List, Optional
+
+from repro.net.channel import LinkSpec, TCP_10GBE_LINK
+from repro.sim import Condition, Environment
+
+from repro.cluster.node import ComputeNode
+from repro.core.frontend import Frontend
+from repro.simcuda.fatbin import FatBinary
+from repro.simcuda.kernels import KernelDescriptor
+
+__all__ = [
+    "ClusterBarrier",
+    "ClusterAllReduce",
+    "MultiNodeSpec",
+    "run_multinode_application",
+]
+
+
+class ClusterBarrier:
+    """Rendezvous of ``n`` ranks across the interconnect.
+
+    Each crossing costs every rank one round trip to the (logical)
+    coordinator plus the wait for the slowest rank.
+    """
+
+    def __init__(self, env: Environment, ranks: int, link: LinkSpec = TCP_10GBE_LINK):
+        if ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        self.env = env
+        self.ranks = ranks
+        self.link = link
+        self._arrived = 0
+        self._release = Condition(env)
+        self.crossings = 0
+
+    def wait(self) -> Generator:
+        """One rank arrives; returns when all have."""
+        yield self.env.timeout(self.link.latency_s)  # notify coordinator
+        self._arrived += 1
+        if self._arrived == self.ranks:
+            self._arrived = 0
+            self.crossings += 1
+            self._release.notify_all()
+        else:
+            yield self._release.wait()
+        yield self.env.timeout(self.link.latency_s)  # release propagation
+
+
+class ClusterAllReduce:
+    """Ring all-reduce of ``nbytes`` across ``n`` ranks."""
+
+    def __init__(self, env: Environment, ranks: int, link: LinkSpec = TCP_10GBE_LINK):
+        if ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        self.env = env
+        self.ranks = ranks
+        self.link = link
+        self._barrier = ClusterBarrier(env, ranks, link)
+        self.operations = 0
+
+    def reduce_seconds(self, nbytes: int) -> float:
+        if self.ranks == 1:
+            return 0.0
+        volume = 2 * (self.ranks - 1) / self.ranks * nbytes
+        return volume / self.link.bandwidth_bps + 2 * self.ranks * self.link.latency_s
+
+    def reduce(self, nbytes: int) -> Generator:
+        """One rank's participation in the collective."""
+        yield from self._barrier.wait()  # enter lock-step
+        yield self.env.timeout(self.reduce_seconds(nbytes))
+        self.operations += 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiNodeSpec:
+    """A BSP (bulk-synchronous parallel) GPU application.
+
+    Per iteration, each rank runs one kernel over its local shard, then
+    all ranks all-reduce ``halo_bytes`` (gradients, halos, residuals…).
+    """
+
+    name: str
+    iterations: int
+    #: per-rank device buffer (the local shard)
+    shard_bytes: int
+    #: per-rank kernel seconds per iteration on a reference C2050
+    kernel_seconds: float
+    #: payload of the per-iteration all-reduce
+    halo_bytes: int
+    #: host-side work between iterations
+    cpu_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.shard_bytes <= 0 or self.halo_bytes < 0:
+            raise ValueError("invalid byte sizes")
+
+
+def _rank(
+    env: Environment,
+    spec: MultiNodeSpec,
+    rank_id: int,
+    node: ComputeNode,
+    collective: ClusterAllReduce,
+    finish_times: List[float],
+) -> Generator:
+    from repro.simcuda.device import TESLA_C2050
+
+    frontend = Frontend(
+        env,
+        node.runtime.listener,
+        name=f"{spec.name}.rank{rank_id}",
+        application_id=spec.name,
+    )
+    yield from frontend.open()
+    kernel = KernelDescriptor(
+        name=f"{spec.name}-step",
+        flops=spec.kernel_seconds * TESLA_C2050.effective_gflops * 1e9,
+    )
+    fatbin = FatBinary()
+    handle = yield from frontend.register_fat_binary(fatbin)
+    yield from frontend.register_function(handle, kernel)
+
+    shard = yield from frontend.cuda_malloc(spec.shard_bytes)
+    yield from frontend.cuda_memcpy_h2d(shard, spec.shard_bytes)
+    for _ in range(spec.iterations):
+        yield from frontend.launch_kernel(kernel, [shard])
+        # Halos leave the device before hitting the wire.
+        yield from frontend.cuda_memcpy_d2h(shard, spec.halo_bytes or 1)
+        yield from collective.reduce(spec.halo_bytes)
+        yield from frontend.cuda_memcpy_h2d(shard, spec.halo_bytes or 1)
+        if spec.cpu_seconds:
+            yield from node.cpu_phase(spec.cpu_seconds)
+    yield from frontend.cuda_memcpy_d2h(shard, spec.shard_bytes)
+    yield from frontend.cuda_free(shard)
+    yield from frontend.cuda_thread_exit()
+    finish_times.append(env.now)
+
+
+def run_multinode_application(
+    env: Environment,
+    spec: MultiNodeSpec,
+    nodes: List[ComputeNode],
+    link: LinkSpec = TCP_10GBE_LINK,
+) -> Generator:
+    """Run one rank per node; returns (start, end) simulated times.
+
+    Every node must run the runtime daemon.  Ranks carry the application
+    id, so under CUDA 4.0 semantics multiple ranks *on one node* would
+    co-locate; here there is exactly one rank per node.
+    """
+    for node in nodes:
+        if node.runtime is None:
+            raise ValueError(f"{node.name} runs no runtime daemon")
+    collective = ClusterAllReduce(env, ranks=len(nodes), link=link)
+    finish_times: List[float] = []
+    start = env.now
+    procs = [
+        env.process(
+            _rank(env, spec, i, node, collective, finish_times),
+            name=f"{spec.name}.rank{i}",
+        )
+        for i, node in enumerate(nodes)
+    ]
+    for p in procs:
+        yield p
+    return (start, max(finish_times))

@@ -1,0 +1,65 @@
+"""Rodinia benchmark models (paper Table 2, short-running).
+
+Kernel-call counts are the paper's; aggregate GPU seconds land inside
+the paper's 3–5 s short-job window on a Tesla C2050.  Data sizes follow
+the paper's problem descriptions, scaled where needed so that — as the
+paper states for its short-running workloads — memory requirements stay
+"well below the capacity of the GPUs in use" and random draws never
+conflict (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["BACK_PROPAGATION", "BFS", "HOTSPOT", "NEEDLEMAN_WUNSCH"]
+
+MIB = 1024**2
+
+BACK_PROPAGATION = WorkloadSpec(
+    name="Back Propagation",
+    tag="BP",
+    description="Training of 20 neural networks with 64K nodes per input layer",
+    kernel_calls=40,
+    gpu_seconds_c2050=4.0,
+    # input layer (64K × 16 floats × 20 nets), weights, deltas
+    buffer_bytes=(80 * MIB, 40 * MIB, 20 * MIB),
+    cpu_fraction=0.10,  # weight updates between networks
+)
+
+BFS = WorkloadSpec(
+    name="Breadth-First Search",
+    tag="BFS",
+    description="Traversal of graph with 1M nodes",
+    kernel_calls=24,
+    gpu_seconds_c2050=3.0,
+    # CSR graph (nodes+edges), frontier mask, visited mask
+    buffer_bytes=(96 * MIB, 8 * MIB, 8 * MIB),
+    read_only_buffers=(0,),
+    cpu_fraction=0.08,  # frontier bookkeeping on the host
+)
+
+HOTSPOT = WorkloadSpec(
+    name="HotSpot",
+    tag="HS",
+    description="Thermal simulation of 1M grids",
+    kernel_calls=1,
+    gpu_seconds_c2050=3.0,
+    # temperature and power grids
+    buffer_bytes=(64 * MIB, 64 * MIB),
+    read_only_buffers=(1,),
+    cpu_fraction=0.05,
+)
+
+NEEDLEMAN_WUNSCH = WorkloadSpec(
+    name="Needleman-Wunsch",
+    tag="NW",
+    description="DNA sequence alignment of 2K potential pairs of sequences",
+    kernel_calls=256,
+    gpu_seconds_c2050=4.0,
+    # scoring matrix diagonal sweeps + reference
+    buffer_bytes=(128 * MIB, 16 * MIB),
+    read_only_buffers=(1,),
+    d2h_every=64,  # alignment results drain periodically
+    cpu_fraction=0.10,
+)

@@ -1,0 +1,221 @@
+"""Call-trace recording and replay.
+
+The runtime sees applications purely as streams of intercepted CUDA
+calls separated by CPU gaps (Figure 1).  This module captures that
+stream from any run — wrap the application's :class:`DeviceAPI` in a
+:class:`TraceRecorder` — and replays it later under a different
+configuration (other GPUs, other vGPU counts, other policies), which is
+how one studies scheduling decisions against production workloads
+without the applications themselves.
+
+Traces serialize to plain JSON for archival.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.simcuda.fatbin import FatBinary
+from repro.simcuda.kernels import KernelDescriptor
+from repro.workloads.base import DeviceAPI
+
+__all__ = ["TraceEvent", "CallTrace", "TraceRecorder", "replay_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One intercepted call (or CPU gap) in the stream.
+
+    ``op`` ∈ {malloc, free, h2d, d2h, launch, cpu}.  Buffer identity is
+    positional (the i-th malloc of the trace), so a trace is independent
+    of the virtual addresses any particular run produced.
+    """
+
+    op: str
+    at: float
+    buffer: Optional[int] = None       # buffer ordinal for memory ops
+    nbytes: int = 0
+    kernel_name: Optional[str] = None
+    kernel_flops: float = 0.0
+    sm_demand: Optional[int] = None
+    buffers: Tuple[int, ...] = ()      # launch args (ordinals)
+    read_only: Tuple[int, ...] = ()
+    seconds: float = 0.0               # cpu gap length
+
+    def to_json(self) -> Dict:
+        d = dataclasses.asdict(self)
+        d["buffers"] = list(self.buffers)
+        d["read_only"] = list(self.read_only)
+        return d
+
+    @classmethod
+    def from_json(cls, d: Dict) -> "TraceEvent":
+        d = dict(d)
+        d["buffers"] = tuple(d.get("buffers", ()))
+        d["read_only"] = tuple(d.get("read_only", ()))
+        return cls(**d)
+
+
+@dataclasses.dataclass
+class CallTrace:
+    """A recorded application: its call stream plus buffer sizes."""
+
+    name: str
+    buffer_sizes: List[int] = dataclasses.field(default_factory=list)
+    events: List[TraceEvent] = dataclasses.field(default_factory=list)
+
+    @property
+    def kernel_calls(self) -> int:
+        return sum(1 for e in self.events if e.op == "launch")
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.buffer_sizes)
+
+    def dumps(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "buffer_sizes": self.buffer_sizes,
+                "events": [e.to_json() for e in self.events],
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "CallTrace":
+        data = json.loads(text)
+        return cls(
+            name=data["name"],
+            buffer_sizes=list(data["buffer_sizes"]),
+            events=[TraceEvent.from_json(e) for e in data["events"]],
+        )
+
+
+class TraceRecorder(DeviceAPI):
+    """A transparent :class:`DeviceAPI` wrapper that records the stream.
+
+    CPU gaps are inferred from simulated time between consecutive calls
+    (time spent *inside* a call belongs to the call, not the gap).
+    """
+
+    def __init__(self, inner: DeviceAPI, env, name: str = "trace"):
+        self.inner = inner
+        self.env = env
+        self.trace = CallTrace(name=name)
+        self._ordinals: Dict[int, int] = {}  # ptr -> buffer ordinal
+        self._last_return: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _note_gap(self) -> None:
+        if self._last_return is not None:
+            gap = self.env.now - self._last_return
+            if gap > 0:
+                self.trace.events.append(
+                    TraceEvent(op="cpu", at=self._last_return, seconds=gap)
+                )
+
+    def _record(self, event: TraceEvent) -> None:
+        self.trace.events.append(event)
+        self._last_return = self.env.now
+
+    # ------------------------------------------------------------------
+    def register(self, fatbin: FatBinary, kernels: Sequence[KernelDescriptor]) -> Generator:
+        self._note_gap()
+        yield from self.inner.register(fatbin, kernels)
+        self._last_return = self.env.now
+
+    def malloc(self, size: int) -> Generator:
+        self._note_gap()
+        ptr = yield from self.inner.malloc(size)
+        ordinal = len(self.trace.buffer_sizes)
+        self.trace.buffer_sizes.append(size)
+        self._ordinals[ptr] = ordinal
+        self._record(TraceEvent(op="malloc", at=self.env.now, buffer=ordinal,
+                                nbytes=size))
+        return ptr
+
+    def free(self, ptr: int) -> Generator:
+        self._note_gap()
+        yield from self.inner.free(ptr)
+        self._record(TraceEvent(op="free", at=self.env.now,
+                                buffer=self._ordinals[ptr]))
+
+    def memcpy_h2d(self, ptr: int, nbytes: int) -> Generator:
+        self._note_gap()
+        yield from self.inner.memcpy_h2d(ptr, nbytes)
+        self._record(TraceEvent(op="h2d", at=self.env.now,
+                                buffer=self._ordinals[ptr], nbytes=nbytes))
+
+    def memcpy_d2h(self, ptr: int, nbytes: int) -> Generator:
+        self._note_gap()
+        yield from self.inner.memcpy_d2h(ptr, nbytes)
+        self._record(TraceEvent(op="d2h", at=self.env.now,
+                                buffer=self._ordinals[ptr], nbytes=nbytes))
+
+    def launch(self, kernel: KernelDescriptor, args: Sequence[int],
+               read_only: Sequence[int]) -> Generator:
+        self._note_gap()
+        yield from self.inner.launch(kernel, args, read_only)
+        self._record(
+            TraceEvent(
+                op="launch",
+                at=self.env.now,
+                kernel_name=kernel.name,
+                kernel_flops=kernel.flops,
+                sm_demand=kernel.sm_demand,
+                buffers=tuple(self._ordinals[p] for p in args),
+                read_only=tuple(self._ordinals[p] for p in read_only),
+            )
+        )
+
+    def close(self) -> Generator:
+        self._note_gap()
+        yield from self.inner.close()
+        self._last_return = self.env.now
+
+
+def replay_trace(trace: CallTrace, api: DeviceAPI, cpu_phase=None) -> Generator:
+    """Re-issue a recorded stream through ``api``.
+
+    CPU gaps are re-enacted through ``cpu_phase`` (e.g.
+    ``node.cpu_phase``); pass ``None`` to drop them (as-fast-as-possible
+    replay).
+    """
+    fatbin = FatBinary()
+    kernels: Dict[str, KernelDescriptor] = {}
+    for event in trace.events:
+        if event.op == "launch" and event.kernel_name not in kernels:
+            kernels[event.kernel_name] = KernelDescriptor(
+                name=event.kernel_name,
+                flops=event.kernel_flops,
+                sm_demand=event.sm_demand,
+            )
+    for k in kernels.values():
+        fatbin.register_function(k)
+    yield from api.register(fatbin, list(kernels.values()))
+
+    pointers: Dict[int, int] = {}
+    for event in trace.events:
+        if event.op == "cpu":
+            if cpu_phase is not None and event.seconds > 0:
+                yield from cpu_phase(event.seconds)
+        elif event.op == "malloc":
+            pointers[event.buffer] = yield from api.malloc(event.nbytes)
+        elif event.op == "free":
+            yield from api.free(pointers.pop(event.buffer))
+        elif event.op == "h2d":
+            yield from api.memcpy_h2d(pointers[event.buffer], event.nbytes)
+        elif event.op == "d2h":
+            yield from api.memcpy_d2h(pointers[event.buffer], event.nbytes)
+        elif event.op == "launch":
+            yield from api.launch(
+                kernels[event.kernel_name],
+                [pointers[b] for b in event.buffers],
+                [pointers[b] for b in event.read_only],
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown trace op {event.op!r}")
+    yield from api.close()

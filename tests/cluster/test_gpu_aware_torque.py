@@ -1,0 +1,45 @@
+"""GPU-aware cluster scheduling (paper §2, second interaction form)."""
+
+from repro.cluster import Cluster, Torque, TorqueMode
+from repro.core import RuntimeConfig
+from repro.sim import Environment
+from repro.simcuda import TESLA_C1060, TESLA_C2050
+from repro.workloads import make_job, workload
+
+
+def run_mode(mode, n_jobs=16):
+    env = Environment()
+    cfg = RuntimeConfig(vgpus_per_device=4)
+    cluster = Cluster(env)
+    cluster.add_node("big", [TESLA_C2050, TESLA_C2050, TESLA_C1060],
+                     runtime_config=cfg)
+    cluster.add_node("small", [TESLA_C1060], runtime_config=cfg)
+    env.process(cluster.start())
+    env.run(until=5.0)
+    torque = Torque(env, cluster.nodes, mode=mode)
+    jobs = [make_job(workload("BS-S"), name=f"j{i}") for i in range(n_jobs)]
+    p = env.process(torque.run_batch(jobs))
+    env.run(until=p)
+    env.run()
+    return torque, cluster
+
+
+def test_gpu_aware_placement_respects_capacity_ratio():
+    torque, cluster = run_mode(TorqueMode.GPU_AWARE)
+    big, small = cluster.nodes
+    # 3:1 GPU ratio → the big node takes ~3/4 of the jobs, not half.
+    assert big.runtime.stats.connections_accepted >= 10
+    assert small.runtime.stats.connections_accepted <= 6
+    assert all(o.ok for o in torque.outcomes)
+
+
+def test_gpu_aware_beats_oblivious_on_unbalanced_cluster():
+    aware, _ = run_mode(TorqueMode.GPU_AWARE)
+    oblivious, _ = run_mode(TorqueMode.OBLIVIOUS)
+    assert aware.total_execution_time < oblivious.total_execution_time
+
+
+def test_gpu_aware_all_jobs_complete():
+    torque, _ = run_mode(TorqueMode.GPU_AWARE, n_jobs=8)
+    assert len(torque.outcomes) == 8
+    assert torque.average_turnaround > 0

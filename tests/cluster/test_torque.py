@@ -1,0 +1,104 @@
+"""Cluster substrate tests: nodes, TORQUE modes, metrics."""
+
+import pytest
+
+from repro.cluster import Cluster, Torque, TorqueMode
+from repro.core import RuntimeConfig
+from repro.sim import Environment
+from repro.simcuda import TESLA_C1060, TESLA_C2050
+from repro.workloads import make_job, workload
+
+
+def build_cluster(env, runtime_config=None):
+    cluster = Cluster(env)
+    cluster.add_node("nodeA", [TESLA_C2050, TESLA_C2050, TESLA_C1060],
+                     runtime_config=runtime_config)
+    cluster.add_node("nodeB", [TESLA_C1060], runtime_config=runtime_config)
+    return cluster
+
+
+def test_cluster_topology():
+    env = Environment()
+    cluster = build_cluster(env)
+    assert cluster.total_gpus == 4
+    assert [n.name for n in cluster.nodes] == ["nodeA", "nodeB"]
+
+
+def test_native_mode_serializes_one_job_per_gpu():
+    """GPU-aware TORQUE on the bare runtime: never more jobs on a node
+    than GPUs."""
+    env = Environment()
+    cluster = build_cluster(env)
+    env.process(cluster.start())
+    torque = Torque(env, cluster.nodes, mode=TorqueMode.NATIVE)
+    jobs = [make_job(workload("HS"), name=f"hs{i}", use_runtime=False) for i in range(10)]
+    p = env.process(torque.run_batch(jobs))
+    env.run(until=p)
+    assert all(j.outcome.ok for j in jobs)
+    # With 4 GPUs and ~3 s jobs, 10 jobs need at least 3 waves.
+    assert torque.total_execution_time > 2.5 * 3
+
+
+def test_oblivious_mode_divides_equally():
+    env = Environment()
+    cfg = RuntimeConfig(vgpus_per_device=4)
+    cluster = build_cluster(env, runtime_config=cfg)
+    env.process(cluster.start())
+    torque = Torque(env, cluster.nodes, mode=TorqueMode.OBLIVIOUS)
+    jobs = [make_job(workload("HS"), name=f"hs{i}") for i in range(8)]
+    p = env.process(torque.run_batch(jobs))
+    env.run(until=p)
+    assert all(j.outcome.ok for j in jobs)
+    # Round-robin: each node's runtime saw half the connections.
+    a, b = cluster.nodes
+    assert a.runtime.stats.connections_accepted == 4
+    assert b.runtime.stats.connections_accepted == 4
+
+
+def test_oblivious_overloads_small_node_without_offloading():
+    """The GPU-oblivious split overloads the single-GPU node — the §5.4
+    problem that offloading solves."""
+    env = Environment()
+    cfg = RuntimeConfig(vgpus_per_device=4)
+    cluster = build_cluster(env, runtime_config=cfg)
+    env.process(cluster.start())
+    torque = Torque(env, cluster.nodes, mode=TorqueMode.OBLIVIOUS)
+    jobs = [make_job(workload("BS-S"), name=f"j{i}") for i in range(16)]
+    p = env.process(torque.run_batch(jobs))
+    env.run(until=p)
+    a, b = cluster.nodes
+    # Node B (1 GPU) finishes its 8 jobs much later than node A finishes
+    # its 8 → B's devices were the long pole.
+    busy_b = b.driver.devices[0].busy_seconds
+    busy_a_max = max(d.busy_seconds for d in a.driver.devices)
+    assert busy_b > busy_a_max
+
+
+def test_metrics_total_and_average():
+    env = Environment()
+    cfg = RuntimeConfig(vgpus_per_device=4)
+    cluster = build_cluster(env, runtime_config=cfg)
+    env.process(cluster.start())
+    torque = Torque(env, cluster.nodes)
+    jobs = [make_job(workload("HS"), name=f"hs{i}") for i in range(4)]
+    p = env.process(torque.run_batch(jobs))
+    env.run(until=p)
+    assert torque.total_execution_time > 0
+    assert 0 < torque.average_turnaround <= torque.total_execution_time
+
+
+def test_torque_requires_nodes():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Torque(env, [])
+
+
+def test_peer_runtimes_meshes_offloaders():
+    env = Environment()
+    cfg = RuntimeConfig(vgpus_per_device=4, offload_enabled=True)
+    cluster = build_cluster(env, runtime_config=cfg)
+    cluster.peer_runtimes()
+    a, b = cluster.nodes
+    assert len(a.runtime.offloader.peers) == 1
+    assert a.runtime.offloader.peers[0].runtime is b.runtime
+    assert b.runtime.offloader.peers[0].runtime is a.runtime

@@ -1,0 +1,184 @@
+"""VM-based cloud deployment tests (paper Figure 2a)."""
+
+import pytest
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.vmcloud import VM_SOCKET_LINK, CloudManager, VMSpec, VirtualMachine
+from repro.core import RuntimeConfig
+from repro.net.channel import AFUNIX_LINK
+from repro.sim import Environment
+from repro.simcuda import FatBinary, KernelDescriptor, TESLA_C2050
+
+MIB = 1024**2
+
+
+def build_cloud(n_nodes=2, cpu_threads=8):
+    env = Environment()
+    nodes = [
+        ComputeNode(
+            env,
+            f"host{i}",
+            [TESLA_C2050],
+            cpu_threads=cpu_threads,
+            runtime_config=RuntimeConfig(vgpus_per_device=4),
+        )
+        for i in range(n_nodes)
+    ]
+    for node in nodes:
+        env.process(node.start())
+    cloud = CloudManager(env, nodes)
+    return env, nodes, cloud
+
+
+def guest_app(env, vm, name, kernel_seconds=0.5, cpu_seconds=0.2):
+    fe = vm.frontend(name, estimated_gpu_seconds=kernel_seconds)
+    yield from fe.open()
+    kernel = KernelDescriptor(
+        name=f"{name}-k",
+        flops=kernel_seconds * TESLA_C2050.effective_gflops * 1e9,
+    )
+    fb = FatBinary()
+    handle = yield from fe.register_fat_binary(fb)
+    yield from fe.register_function(handle, kernel)
+    data = yield from fe.cuda_malloc(32 * MIB)
+    yield from fe.cuda_memcpy_h2d(data, 32 * MIB)
+    yield from fe.launch_kernel(kernel, [data])
+    yield from vm.cpu_phase(cpu_seconds)
+    yield from fe.cuda_memcpy_d2h(data, 32 * MIB)
+    yield from fe.cuda_free(data)
+    yield from fe.cuda_thread_exit()
+    return env.now
+
+
+def test_vm_placement_first_fit():
+    env, nodes, cloud = build_cloud(n_nodes=2, cpu_threads=4)
+
+    def scenario():
+        vm1 = yield from cloud.launch_vm(VMSpec("vm1", vcpus=3))
+        vm2 = yield from cloud.launch_vm(VMSpec("vm2", vcpus=3))
+        vm3 = yield from cloud.launch_vm(VMSpec("vm3", vcpus=1))
+        return vm1, vm2, vm3
+
+    p = env.process(scenario())
+    env.run(until=p)
+    vm1, vm2, vm3 = p.value
+    assert vm1.node is nodes[0]
+    assert vm2.node is nodes[1]  # no room left on host0
+    assert vm3.node is nodes[0]  # first-fit back-fills
+    assert len(cloud.vms_on(nodes[0])) == 2
+
+
+def test_vm_placement_exhaustion_raises():
+    env, nodes, cloud = build_cloud(n_nodes=1, cpu_threads=2)
+
+    def scenario():
+        yield from cloud.launch_vm(VMSpec("big", vcpus=2))
+        yield from cloud.launch_vm(VMSpec("too-much", vcpus=1))
+
+    p = env.process(scenario())
+    with pytest.raises(RuntimeError, match="no capacity"):
+        env.run(until=p)
+
+
+def test_guest_application_reaches_host_gpu():
+    env, nodes, cloud = build_cloud()
+    results = {}
+
+    def scenario():
+        vm = yield from cloud.launch_vm(VMSpec("guest", vcpus=2))
+        results["t"] = yield from guest_app(env, vm, "app0")
+
+    env.process(scenario())
+    env.run()
+    assert "t" in results
+    assert nodes[0].driver.devices[0].kernels_executed == 1
+    assert nodes[0].runtime.stats.connections_accepted == 1
+
+
+def test_vm_socket_costs_more_than_afunix():
+    big = 32 * MIB
+    assert VM_SOCKET_LINK.transmit_seconds(big) > AFUNIX_LINK.transmit_seconds(big)
+    assert VM_SOCKET_LINK.per_message_overhead_s > AFUNIX_LINK.per_message_overhead_s
+
+
+def test_two_vms_share_one_gpu():
+    env, nodes, cloud = build_cloud(n_nodes=1)
+    results = {}
+
+    def scenario():
+        vm1 = yield from cloud.launch_vm(VMSpec("vm1", vcpus=2))
+        vm2 = yield from cloud.launch_vm(VMSpec("vm2", vcpus=2))
+
+        def tenant(vm, name):
+            results[name] = yield from guest_app(env, vm, name)
+
+        env.process(tenant(vm1, "a"))
+        env.process(tenant(vm2, "b"))
+
+    env.process(scenario())
+    env.run()
+    assert set(results) == {"a", "b"}
+    assert nodes[0].driver.devices[0].kernels_executed == 2
+
+
+def test_vcpu_contention_inside_vm():
+    """Two guest threads on a 1-vCPU VM serialize their CPU phases."""
+    env, nodes, cloud = build_cloud(n_nodes=1)
+    done = []
+
+    def scenario():
+        vm = yield from cloud.launch_vm(VMSpec("tiny", vcpus=1))
+
+        def burner(i):
+            yield from vm.cpu_phase(1.0)
+            done.append(env.now)
+
+        t0 = env.now
+        env.process(burner(0))
+        env.process(burner(1))
+        yield env.timeout(0)
+        return t0
+
+    p = env.process(scenario())
+    env.run()
+    t0 = p.value
+    assert max(done) - t0 >= 2.0  # serialized on the single vCPU
+
+
+def test_terminate_vm_frees_capacity():
+    env, nodes, cloud = build_cloud(n_nodes=1, cpu_threads=2)
+
+    def scenario():
+        vm = yield from cloud.launch_vm(VMSpec("v", vcpus=2))
+        cloud.terminate_vm(vm)
+        vm2 = yield from cloud.launch_vm(VMSpec("v2", vcpus=2))
+        return vm, vm2
+
+    p = env.process(scenario())
+    env.run(until=p)
+    vm, vm2 = p.value
+    assert not vm.running
+    assert vm2.running
+
+
+def test_stopped_vm_rejects_use():
+    env, nodes, cloud = build_cloud(n_nodes=1)
+
+    def scenario():
+        vm = yield from cloud.launch_vm(VMSpec("v", vcpus=1))
+        cloud.terminate_vm(vm)
+        with pytest.raises(RuntimeError):
+            vm.frontend("x")
+        return True
+
+    p = env.process(scenario())
+    env.run(until=p)
+    assert p.value
+
+
+def test_vmspec_validation():
+    with pytest.raises(ValueError):
+        VMSpec("bad", vcpus=0)
+    env = Environment()
+    with pytest.raises(ValueError):
+        CloudManager(env, [])

@@ -1,0 +1,182 @@
+"""Adversarial-tenant tests (paper §7 mentions security concerns as
+future work; isolation, however, is a §2 objective and must hold against
+misbehaving applications, not just polite ones)."""
+
+import pytest
+
+from repro.core import RuntimeConfig
+from repro.core.errors import RuntimeApiError, RuntimeErrorCode
+from repro.simcuda import KernelDescriptor, TESLA_C2050
+
+from tests.core.conftest import Harness, MIB
+
+
+def kernel(seconds=0.2, name="k"):
+    return KernelDescriptor(
+        name=name, flops=seconds * TESLA_C2050.effective_gflops * 1e9
+    )
+
+
+def test_tenant_cannot_free_anothers_buffer():
+    h = Harness(config=RuntimeConfig(vgpus_per_device=2))
+    shared = {}
+    outcome = {}
+
+    def victim():
+        fe = h.frontend("victim")
+        yield from fe.open()
+        shared["ptr"] = yield from fe.cuda_malloc(32 * MIB)
+        yield h.env.timeout(1.0)
+        # The buffer must still be intact afterwards.
+        yield from fe.cuda_memcpy_h2d(shared["ptr"], 32 * MIB)
+        yield from fe.cuda_free(shared["ptr"])
+        yield from fe.cuda_thread_exit()
+        outcome["victim"] = "ok"
+
+    def attacker():
+        fe = h.frontend("attacker")
+        yield from fe.open()
+        yield h.env.timeout(0.5)
+        with pytest.raises(RuntimeApiError) as e:
+            yield from fe.cuda_free(shared["ptr"])
+        assert e.value.code == RuntimeErrorCode.NO_VALID_PTE
+        with pytest.raises(RuntimeApiError):
+            yield from fe.cuda_memcpy_d2h(shared["ptr"], 32 * MIB)
+        with pytest.raises(RuntimeApiError):
+            yield from fe.launch_kernel(kernel(), [shared["ptr"]])
+        yield from fe.cuda_thread_exit()
+        outcome["attacker"] = "contained"
+
+    h.spawn(victim())
+    h.spawn(attacker())
+    h.run()
+    assert outcome == {"victim": "ok", "attacker": "contained"}
+
+
+def test_allocation_bomb_does_not_break_neighbours():
+    """A tenant exhausting the swap area gets errors; a neighbour's work
+    is unaffected."""
+    h = Harness(config=RuntimeConfig(vgpus_per_device=2))
+    h.memory.swap.capacity_bytes = 2 * 1024**3
+    outcome = {}
+
+    def bomber():
+        fe = h.frontend("bomber")
+        yield from fe.open()
+        held = []
+        errors = 0
+        for _ in range(40):
+            try:
+                held.append((yield from fe.cuda_malloc(100 * MIB)))
+            except RuntimeApiError as exc:
+                assert exc.code == RuntimeErrorCode.SWAP_ALLOCATION_FAILED
+                errors += 1
+                break
+        assert errors == 1
+        for ptr in held:
+            yield from fe.cuda_free(ptr)
+        yield from fe.cuda_thread_exit()
+        outcome["bomber"] = "errored-and-released"
+
+    def neighbour():
+        yield h.env.timeout(0.2)
+        fe = h.frontend("neighbour")
+        yield from fe.open()
+        k = kernel(0.3, "n-k")
+        a = yield from fe.cuda_malloc(16 * MIB)
+        yield from fe.launch_kernel(k, [a])
+        yield from fe.cuda_free(a)
+        yield from fe.cuda_thread_exit()
+        outcome["neighbour"] = "ok"
+
+    h.spawn(bomber())
+    h.spawn(neighbour())
+    h.run()
+    assert outcome["neighbour"] == "ok"
+    assert h.memory.swap.used_bytes == 0
+
+
+def test_bad_calls_never_reach_the_device():
+    """Out-of-bounds copies, unknown pointers and bogus launches are all
+    absorbed in the runtime layer — the device sees zero traffic from
+    them (§4.5 'avoiding overloading the GPU with erroneous calls')."""
+    h = Harness()
+    device = h.driver.devices[0]
+
+    def abuser():
+        fe = h.frontend("abuser")
+        yield from fe.open()
+        a = yield from fe.cuda_malloc(MIB)
+        bad_calls = 0
+        for attempt in (
+            lambda: fe.cuda_memcpy_h2d(a, 10 * MIB),     # beyond bounds
+            lambda: fe.cuda_memcpy_h2d(0x1234, MIB),     # unknown ptr
+            lambda: fe.cuda_memcpy_d2h(0x1234, MIB),
+            lambda: fe.cuda_free(0xABCD),
+            lambda: fe.launch_kernel(kernel(), [0x999]),
+        ):
+            try:
+                yield from attempt()
+            except RuntimeApiError:
+                bad_calls += 1
+        assert bad_calls == 5
+        yield from fe.cuda_thread_exit()
+
+    p = h.spawn(abuser())
+    h.run(until=p)
+    assert device.kernels_executed == 0
+    assert device.bytes_copied == 0
+    assert h.stats.bad_calls_detected == 5
+
+
+def test_connection_flood_is_absorbed():
+    """Dozens of connections that never launch anything: they must not
+    consume vGPUs or wedge the dispatcher."""
+    h = Harness(config=RuntimeConfig(vgpus_per_device=2))
+    done = []
+
+    def idler(i):
+        fe = h.frontend(f"idler{i}")
+        yield from fe.open()
+        a = yield from fe.cuda_malloc(MIB)
+        yield h.env.timeout(0.5)
+        yield from fe.cuda_free(a)
+        yield from fe.cuda_thread_exit()
+        done.append(i)
+
+    def worker():
+        fe = h.frontend("worker")
+        yield from fe.open()
+        k = kernel(0.3, "w-k")
+        a = yield from fe.cuda_malloc(8 * MIB)
+        yield from fe.launch_kernel(k, [a])
+        yield from fe.cuda_thread_exit()
+        done.append("worker")
+
+    for i in range(40):
+        h.spawn(idler(i))
+    h.spawn(worker())
+    h.run()
+    assert len(done) == 41
+    # Idlers never bound a vGPU (binding is lazy, at first launch).
+    assert h.stats.bindings == 1
+
+
+def test_oversized_kernel_is_an_application_error_not_a_crash():
+    h = Harness()  # single 3 GiB C2050
+
+    def glutton():
+        fe = h.frontend("glutton")
+        yield from fe.open()
+        huge = yield from fe.cuda_malloc(5 * 1024**3)  # > any device
+        with pytest.raises(RuntimeApiError) as e:
+            yield from fe.launch_kernel(kernel(), [huge])
+        assert e.value.code == RuntimeErrorCode.KERNEL_FOOTPRINT_TOO_LARGE
+        yield from fe.cuda_free(huge)
+        yield from fe.cuda_thread_exit()
+        return True
+
+    p = h.spawn(glutton())
+    h.run(until=p)
+    assert p.value is True
+    assert all(v.idle for v in h.scheduler.vgpus)

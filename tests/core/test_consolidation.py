@@ -1,0 +1,160 @@
+"""Kernel consolidation (space-sharing) tests — the §6 integration path.
+
+With consolidation enabled, kernels that can only fill part of the
+device co-run; aggregate demand beyond the SM count queues FIFO.
+"""
+
+import pytest
+
+from repro.core import RuntimeConfig
+from repro.simcuda import CudaDriver, KernelDescriptor, KernelLaunch, TESLA_C2050
+from repro.sim import Environment
+
+from tests.core.conftest import Harness, MIB
+
+
+def half_kernel(seconds=1.0, name="half"):
+    """Fills 7 of the C2050's 14 SMs for ``seconds``."""
+    return KernelDescriptor(
+        name=name,
+        flops=seconds * TESLA_C2050.effective_gflops * 0.5 * 1e9,
+        sm_demand=7,
+    )
+
+
+# ---------------------------------------------------------------------------
+# driver level
+# ---------------------------------------------------------------------------
+
+def run_two_kernels(concurrent: bool):
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050])
+    driver.concurrent_kernels = concurrent
+    k = half_kernel()
+    finish = {}
+
+    def app(name):
+        ctx = yield from driver.create_context(driver.devices[0])
+        a = yield from driver.malloc(ctx, MIB)
+        yield from driver.launch(ctx, KernelLaunch.simple(k, [a]))
+        finish[name] = env.now
+
+    env.process(app("a"))
+    env.process(app("b"))
+    env.run()
+    return finish
+
+
+def test_consolidation_corun_half_device_kernels():
+    serial = run_two_kernels(concurrent=False)
+    shared = run_two_kernels(concurrent=True)
+    # Serialized: ~2 s apart.  Consolidated: both finish together.
+    assert max(serial.values()) - min(serial.values()) == pytest.approx(1.0, rel=0.05)
+    assert max(shared.values()) - min(shared.values()) < 0.01
+    assert max(shared.values()) < max(serial.values())
+
+
+def test_consolidation_queues_when_demand_exceeds_sms():
+    """Three 7-SM kernels on a 14-SM device: two co-run, the third waits."""
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050])
+    driver.concurrent_kernels = True
+    k = half_kernel()
+    finish = []
+
+    def app(i):
+        ctx = yield from driver.create_context(driver.devices[0])
+        a = yield from driver.malloc(ctx, MIB)
+        yield from driver.launch(ctx, KernelLaunch.simple(k, [a]))
+        finish.append(env.now)
+
+    for i in range(3):
+        env.process(app(i))
+    env.run()
+    finish.sort()
+    assert finish[1] - finish[0] < 0.01  # first two together
+    assert finish[2] - finish[1] == pytest.approx(1.0, rel=0.05)  # third waits
+
+
+def test_exclusive_kernel_drains_the_device():
+    """A kernel without sm_demand takes the whole device even under
+    consolidation — partial kernels cannot co-run with it."""
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050])
+    driver.concurrent_kernels = True
+    full = KernelDescriptor(
+        name="full", flops=1.0 * TESLA_C2050.effective_gflops * 1e9
+    )
+    part = half_kernel(seconds=0.2)
+    finish = {}
+
+    def app_full():
+        ctx = yield from driver.create_context(driver.devices[0])
+        a = yield from driver.malloc(ctx, MIB)
+        yield from driver.launch(ctx, KernelLaunch.simple(full, [a]))
+        finish["full"] = env.now
+
+    def app_part():
+        ctx = yield from driver.create_context(driver.devices[0])
+        a = yield from driver.malloc(ctx, MIB)
+        yield env.timeout(0.1)  # arrives while the full kernel runs
+        yield from driver.launch(ctx, KernelLaunch.simple(part, [a]))
+        finish["part"] = env.now
+
+    env.process(app_full())
+    env.process(app_part())
+    env.run()
+    assert finish["part"] > finish["full"]  # had to wait for the drain
+
+
+def test_busy_accounting_stays_below_one():
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050])
+    driver.concurrent_kernels = True
+    k = half_kernel()
+
+    def app():
+        ctx = yield from driver.create_context(driver.devices[0])
+        a = yield from driver.malloc(ctx, MIB)
+        yield from driver.launch(ctx, KernelLaunch.simple(k, [a]))
+
+    env.process(app())
+    env.process(app())
+    env.run()
+    dev = driver.devices[0]
+    assert dev.utilization(env.now) <= 1.0
+    assert dev.kernels_executed == 2
+
+
+# ---------------------------------------------------------------------------
+# through the runtime
+# ---------------------------------------------------------------------------
+
+def test_runtime_consolidation_improves_small_kernel_throughput():
+    def run(consolidation):
+        h = Harness(
+            config=RuntimeConfig(
+                vgpus_per_device=4, kernel_consolidation=consolidation
+            )
+        )
+        done = []
+
+        def app(name):
+            fe = h.frontend(name)
+            yield from fe.open()
+            k = half_kernel(seconds=0.5, name=f"{name}-k")
+            a = yield from fe.cuda_malloc(8 * MIB)
+            for _ in range(4):
+                yield from fe.launch_kernel(k, [a])
+            yield from fe.cuda_thread_exit()
+            done.append(h.env.now)
+
+        for i in range(4):
+            h.spawn(app(f"j{i}"))
+        h.run()
+        return max(done)
+
+    consolidated = run(True)
+    serialized = run(False)
+    # Two half-device kernels co-run: ~2× throughput for this workload.
+    assert consolidated < serialized * 0.65

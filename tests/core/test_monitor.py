@@ -1,0 +1,75 @@
+"""Runtime monitoring tests."""
+
+import pytest
+
+from repro.core.monitor import RuntimeMonitor, node_report
+
+from tests.core.conftest import Harness, MIB
+
+
+def test_node_report_snapshot():
+    h = Harness()
+    h.run(until=1.0)
+    report = node_report(h.runtime)
+    assert report["gpus"] == 1
+    assert report["vgpus_total"] == 4
+    assert report["vgpus_active"] == 0
+    assert report["load_per_vgpu"] == 0.0
+    assert report["swap_used_bytes"] == 0
+    assert "Tesla C2050" in report["gpu_names"][0]
+
+
+def test_monitor_samples_utilization():
+    h = Harness()
+    monitor = RuntimeMonitor(h.runtime)
+    monitor.start(period=0.5, horizon=10.0)
+    h.spawn(h.simple_app("busy", kernel_seconds=1.0, kernel_count=3))
+    h.run()
+    device_id = h.driver.devices[0].device_id
+    assert len(monitor.samples) >= 5
+    # Some sample saw the GPU busy; the mean reflects ~3s of kernels.
+    assert any(s.gpu_utilization[device_id] > 0.5 for s in monitor.samples)
+    assert 0.0 < monitor.mean_utilization(device_id) <= 1.0
+
+
+def test_monitor_tracks_memory_and_swap():
+    h = Harness()
+    monitor = RuntimeMonitor(h.runtime)
+    monitor.start(period=0.25, horizon=8.0)
+    h.spawn(h.simple_app("mem", alloc_mib=256, kernel_seconds=1.0))
+    h.run()
+    assert monitor.peak_swap_bytes() >= 256 * MIB
+    device_id = h.driver.devices[0].device_id
+    assert any(s.gpu_memory_used[device_id] > 256 * MIB for s in monitor.samples)
+
+
+def test_monitor_stop_ends_sampling():
+    h = Harness()
+    monitor = RuntimeMonitor(h.runtime)
+    monitor.start(period=0.5)  # no horizon: must be stopped
+    h.spawn(h.simple_app("quick", kernel_seconds=0.5))
+
+    def stopper():
+        yield h.env.timeout(3.0)
+        monitor.stop()
+
+    h.spawn(stopper())
+    h.run()  # terminates because the monitor stops
+    assert monitor.samples
+
+
+def test_monitor_period_validation():
+    h = Harness()
+    monitor = RuntimeMonitor(h.runtime)
+    with pytest.raises(ValueError):
+        monitor.start(period=0)
+
+
+def test_take_sample_on_demand():
+    h = Harness()
+    h.run(until=1.0)
+    monitor = RuntimeMonitor(h.runtime)
+    s = monitor.take_sample()
+    assert s.at == 1.0
+    assert s.total_vgpus == 4
+    assert monitor.peak_waiting() == 0

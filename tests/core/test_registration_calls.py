@@ -1,0 +1,52 @@
+"""Registration-call coverage: the full __cudaRegister* family."""
+
+from repro.simcuda import FatBinary, KernelDescriptor, TESLA_C2050
+
+from tests.core.conftest import Harness, MIB
+
+
+def test_var_texture_shared_registration(harness):
+    h = harness
+
+    def app():
+        fe = h.frontend("reg")
+        yield from fe.open()
+        fb = FatBinary()
+        k = KernelDescriptor(
+            name="tex-k", flops=0.1 * TESLA_C2050.effective_gflops * 1e9
+        )
+        handle = yield from fe.register_fat_binary(fb)
+        yield from fe.register_function(handle, k)
+        yield from fe.register_var(handle, "g_coeffs")
+        yield from fe.register_texture(handle, "tex_input")
+        yield from fe.register_shared_var(handle, "s_tile")
+        a = yield from fe.cuda_malloc(MIB)
+        yield from fe.launch_kernel(k, [a])
+        yield from fe.cuda_thread_exit()
+        return fb
+
+    p = h.spawn(app())
+    h.run(until=p)
+    fb = p.value
+    assert fb.variables == ["g_coeffs"]
+    assert fb.textures == ["tex_input"]
+    assert fb.shared_vars == ["s_tile"]
+
+
+def test_registration_precedes_binding(harness):
+    """Registration calls complete without any vGPU being bound — the
+    §4.3 observation that lets the dispatcher defer binding."""
+    h = harness
+
+    def app():
+        fe = h.frontend("prebind")
+        yield from fe.open()
+        fb = FatBinary()
+        handle = yield from fe.register_fat_binary(fb)
+        yield from fe.register_var(handle, "v")
+        assert h.stats.bindings == 0  # still unbound after registration
+        yield from fe.cuda_thread_exit()
+
+    p = h.spawn(app())
+    h.run(until=p)
+    assert h.stats.bindings == 0

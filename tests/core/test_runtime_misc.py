@@ -1,0 +1,149 @@
+"""Runtime odds and ends: CPU-phase reaping, load metrics, lifecycle."""
+
+import pytest
+
+from repro.core import NodeRuntime, RuntimeConfig
+from repro.simcuda import CudaDriver, KernelDescriptor, TESLA_C2050
+from repro.sim import Environment
+
+from tests.core.conftest import Harness, MIB
+
+
+def kernel(seconds, name="k"):
+    return KernelDescriptor(
+        name=name, flops=seconds * TESLA_C2050.effective_gflops * 1e9
+    )
+
+
+def test_config_serialized_helper():
+    cfg = RuntimeConfig(vgpus_per_device=4, policy="sjf")
+    ser = cfg.serialized()
+    assert ser.vgpus_per_device == 1
+    assert ser.policy == "sjf"
+    assert cfg.vgpus_per_device == 4  # original untouched
+
+
+def test_cpu_phase_reaper_unbinds_idle_tenant():
+    """With more tenants than vGPUs and one tenant stuck in a long CPU
+    phase, the reaper frees its vGPU for the waiting tenant."""
+    h = Harness(
+        config=RuntimeConfig(vgpus_per_device=1, unbind_on_cpu_phase_s=0.1)
+    )
+    order = []
+
+    def thinker():
+        fe = h.frontend("thinker")
+        yield from fe.open()
+        k = kernel(0.2, "think-k")
+        a = yield from fe.cuda_malloc(8 * MIB)
+        yield from fe.launch_kernel(k, [a])
+        order.append(("thinker-gpu-done", h.env.now))
+        yield h.env.timeout(5.0)  # long CPU phase while another waits
+        yield from fe.launch_kernel(k, [a])
+        yield from fe.cuda_thread_exit()
+        order.append(("thinker-exit", h.env.now))
+
+    def waiter():
+        fe = h.frontend("waiter")
+        yield from fe.open()
+        k = kernel(0.2, "wait-k")
+        a = yield from fe.cuda_malloc(8 * MIB)
+        yield h.env.timeout(0.5)  # arrive during the thinker's CPU phase
+        yield from fe.launch_kernel(k, [a])
+        order.append(("waiter-gpu-done", h.env.now))
+        yield from fe.cuda_thread_exit()
+
+    h.spawn(thinker())
+    h.spawn(waiter())
+    h.run()
+    names = [n for n, _ in order]
+    # The waiter got the GPU *during* the thinker's 5 s CPU phase.
+    assert names.index("waiter-gpu-done") < names.index("thinker-exit")
+    waiter_done = dict(order)["waiter-gpu-done"]
+    assert waiter_done < 5.0
+    assert h.stats.unbindings >= 2
+
+
+def test_reaper_does_not_fire_without_waiters():
+    h = Harness(
+        config=RuntimeConfig(vgpus_per_device=4, unbind_on_cpu_phase_s=0.05)
+    )
+
+    def lazy():
+        fe = h.frontend("lazy")
+        yield from fe.open()
+        k = kernel(0.1)
+        a = yield from fe.cuda_malloc(MIB)
+        yield from fe.launch_kernel(k, [a])
+        yield h.env.timeout(2.0)  # long CPU phase, nobody waiting
+        yield from fe.launch_kernel(k, [a])
+        yield from fe.cuda_thread_exit()
+
+    h.spawn(lazy())
+    h.run()
+    # One bind for the whole life: the reaper never evicted it.
+    assert h.stats.bindings == 1
+
+
+def test_load_per_vgpu_counts_live_contexts():
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050])
+    rt = NodeRuntime(env, driver, RuntimeConfig(vgpus_per_device=2))
+    env.process(rt.start())
+    env.run(until=1.0)
+    assert rt.load_per_vgpu() == 0.0
+
+    from repro.core import Frontend
+
+    def app():
+        fe = Frontend(env, rt.listener, name="x")
+        yield from fe.open()
+        yield env.timeout(3.0)
+        yield from fe.cuda_thread_exit()
+
+    env.process(app())
+    env.run(until=2.0)
+    assert rt.load_per_vgpu() == pytest.approx(0.5)  # 1 live ctx / 2 vGPUs
+    env.run()
+    assert rt.load_per_vgpu() == 0.0  # done contexts don't count
+
+
+def test_runtime_start_idempotent():
+    env = Environment()
+    rt = NodeRuntime(env, CudaDriver(env, [TESLA_C2050]))
+    env.process(rt.start())
+    env.process(rt.start())  # second start: no-op
+    env.run()
+    assert rt.scheduler.total_vgpus == 4  # not doubled
+
+
+def test_runtime_repr_smoke():
+    env = Environment()
+    rt = NodeRuntime(env, CudaDriver(env, [TESLA_C2050]), name="n0")
+    assert "n0" in repr(rt)
+    assert "devices=1" in repr(rt)
+
+
+def test_vgpu_shutdown_releases_context():
+    h = Harness()
+    h.run(until=2.0)
+    vgpu = h.scheduler.vgpus[0]
+    device = h.driver.devices[0]
+    used_before = device.allocator.used_bytes
+
+    def stop():
+        yield from vgpu.shutdown()
+
+    p = h.spawn(stop())
+    h.run(until=p)
+    assert vgpu.retired
+    assert device.allocator.used_bytes < used_before
+
+
+def test_failed_device_excluded_from_idle_vgpus():
+    h = Harness(specs=[TESLA_C2050, TESLA_C2050])
+    h.run(until=2.0)
+    assert len(h.scheduler.idle_vgpus()) == 8
+    h.runtime.fail_device(h.driver.devices[0])
+    assert len(h.scheduler.idle_vgpus()) == 4
+    assert h.scheduler.total_vgpus == 4

@@ -1,0 +1,68 @@
+"""Small unit checks for surfaces not covered elsewhere."""
+
+import pytest
+
+from repro.cluster.jobs import JobOutcome
+from repro.core.errors import RuntimeApiError, RuntimeErrorCode
+from repro.core.protocol import (
+    CallType,
+    DEVICE_MANAGEMENT_CALLS,
+    MEMORY_CALLS,
+    REGISTRATION_CALLS,
+)
+from repro.core.stats import RuntimeStats
+from repro.simcuda.errors import CudaError
+
+
+def test_call_type_partitions():
+    assert CallType.SET_DEVICE in DEVICE_MANAGEMENT_CALLS
+    assert CallType.GET_DEVICE_COUNT in DEVICE_MANAGEMENT_CALLS
+    assert CallType.REGISTER_FATBIN in REGISTRATION_CALLS
+    assert CallType.MALLOC in MEMORY_CALLS
+    assert CallType.LAUNCH not in MEMORY_CALLS
+    # The sets are disjoint.
+    assert not (DEVICE_MANAGEMENT_CALLS & REGISTRATION_CALLS)
+    assert not (MEMORY_CALLS & REGISTRATION_CALLS)
+
+
+def test_call_type_values_are_cuda_symbol_names():
+    assert CallType.MALLOC.value == "cudaMalloc"
+    assert CallType.REGISTER_FATBIN.value == "__cudaRegisterFatBinary"
+    assert CallType.EXIT.value == "cudaThreadExit"
+
+
+def test_cuda_error_is_success():
+    assert CudaError.cudaSuccess.is_success()
+    assert not CudaError.cudaErrorMemoryAllocation.is_success()
+
+
+def test_runtime_api_error_message():
+    err = RuntimeApiError(RuntimeErrorCode.NO_VALID_PTE, "0xdead")
+    assert "NO_VALID_PTE" in str(err)
+    bare = RuntimeApiError(RuntimeErrorCode.SWAP_SIZE_MISMATCH)
+    assert "mismatch" in str(bare).lower()
+
+
+def test_job_outcome_metrics():
+    o = JobOutcome(name="j", submitted_at=10.0, started_at=12.0, finished_at=20.0)
+    assert o.turnaround == 10.0
+    assert o.execution_time == 8.0
+    assert o.ok
+    unfinished = JobOutcome(name="k", submitted_at=0.0)
+    assert unfinished.turnaround is None
+    assert unfinished.execution_time is None
+    assert not unfinished.ok
+
+
+def test_runtime_stats_as_dict_includes_total():
+    stats = RuntimeStats()
+    stats.swaps_intra = 2
+    stats.swaps_inter = 3
+    d = stats.as_dict()
+    assert d["swaps_total"] == 5
+    assert d["swaps_intra"] == 2
+
+
+def test_stats_swaps_total_property():
+    stats = RuntimeStats(swaps_intra=1, swaps_inter=4)
+    assert stats.swaps_total == 5

@@ -1,0 +1,156 @@
+"""Whole-system torture tests: every mechanism at once.
+
+These integration scenarios combine GPU sharing, memory swapping,
+migration, failures and inter-node offloading in single runs and assert
+the global invariants that must survive the interaction of all
+features: every job completes, memory accounting balances, the system
+quiesces.
+"""
+
+import pytest
+
+from repro.core import Frontend, NodeRuntime, RuntimeConfig
+from repro.core.fault import FailureInjector, HotplugEvent
+from repro.sim import Environment, RngStreams
+from repro.simcuda import (
+    CudaDriver,
+    FatBinary,
+    KernelDescriptor,
+    QUADRO_2000,
+    TESLA_C1060,
+    TESLA_C2050,
+)
+
+MIB = 1024**2
+
+
+def mixed_app(env, runtime, name, rng, results):
+    """A randomized application: variable buffers, kernels, CPU phases."""
+
+    def app():
+        fe = Frontend(env, runtime.listener, name=name)
+        yield from fe.open()
+        n_buffers = int(rng.integers(1, 4))
+        kernel = KernelDescriptor(
+            name=f"{name}-k",
+            flops=float(rng.uniform(0.1, 0.6)) * TESLA_C2050.effective_gflops * 1e9,
+        )
+        fb = FatBinary()
+        handle = yield from fe.register_fat_binary(fb)
+        yield from fe.register_function(handle, kernel)
+        sizes = [int(rng.integers(32, 400)) * MIB for _ in range(n_buffers)]
+        ptrs = []
+        for size in sizes:
+            p = yield from fe.cuda_malloc(size)
+            yield from fe.cuda_memcpy_h2d(p, size)
+            ptrs.append(p)
+        for _ in range(int(rng.integers(2, 6))):
+            yield from fe.launch_kernel(kernel, ptrs)
+            yield env.timeout(float(rng.uniform(0.05, 0.6)))
+        for p, size in zip(ptrs, sizes):
+            yield from fe.cuda_memcpy_d2h(p, size)
+            yield from fe.cuda_free(p)
+        yield from fe.cuda_thread_exit()
+        results.append(name)
+
+    return app()
+
+
+def test_sharing_swapping_migration_and_failure_together():
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050, TESLA_C1060, QUADRO_2000])
+    runtime = NodeRuntime(
+        env,
+        driver,
+        RuntimeConfig(
+            vgpus_per_device=3,
+            migration_enabled=True,
+            checkpoint_kernel_seconds=0.5,
+        ),
+    )
+    env.process(runtime.start())
+    rngs = RngStreams(11)
+    results = []
+    for i in range(12):
+        env.process(
+            mixed_app(env, runtime, f"mix{i}", rngs.spawn(f"app{i}").stream("x"),
+                      results)
+        )
+    # One GPU dies mid-run; the others absorb its contexts.
+    FailureInjector(
+        runtime, [HotplugEvent(at_seconds=3.0, action="fail", device_index=1)]
+    ).start()
+    env.run()
+
+    assert len(results) == 12  # nobody lost
+    # System quiesced cleanly.
+    assert runtime.memory.swap.used_bytes == 0
+    assert runtime.scheduler.waiting_count == 0
+    assert all(v.idle or v.retired for v in runtime.scheduler.vgpus)
+    # Healthy devices hold only their vGPU context reservations.
+    for device in (driver.devices[0], driver.devices[2]):
+        assert device.allocator.used_bytes == 3 * device.spec.context_reservation_bytes
+
+
+def test_cluster_offload_with_remote_failure():
+    """Node B offloads to node A; one of A's GPUs fails while serving the
+    offloaded work; everything still completes."""
+    env = Environment()
+    cfg = RuntimeConfig(vgpus_per_device=2, offload_enabled=True)
+    driver_a = CudaDriver(env, [TESLA_C2050, TESLA_C1060])
+    driver_b = CudaDriver(env, [QUADRO_2000])
+    node_a = NodeRuntime(env, driver_a, cfg, name="A")
+    node_b = NodeRuntime(env, driver_b, cfg, name="B")
+    node_a.offloader.add_peer(node_b)
+    node_b.offloader.add_peer(node_a)
+    env.process(node_a.start())
+    env.process(node_b.start())
+
+    rngs = RngStreams(23)
+    results = []
+    for i in range(8):  # all submitted to the small node B
+        env.process(
+            mixed_app(env, node_b, f"j{i}", rngs.spawn(f"j{i}").stream("x"), results)
+        )
+    FailureInjector(
+        node_a, [HotplugEvent(at_seconds=4.0, action="fail", device_index=0)]
+    ).start()
+    env.run()
+
+    assert len(results) == 8
+    assert node_b.stats.offloads_out >= 1  # offloading actually happened
+    # Both nodes quiesced.
+    for runtime in (node_a, node_b):
+        assert runtime.memory.swap.used_bytes == 0
+        assert runtime.scheduler.waiting_count == 0
+
+
+def test_hotplug_churn_under_load():
+    """GPUs leave and join while a batch runs; the batch completes and
+    the final device population serves everything."""
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050, TESLA_C1060])
+    runtime = NodeRuntime(env, driver, RuntimeConfig(vgpus_per_device=2))
+    env.process(runtime.start())
+    rngs = RngStreams(5)
+    results = []
+    for i in range(10):
+        env.process(
+            mixed_app(env, runtime, f"c{i}", rngs.spawn(f"c{i}").stream("x"), results)
+        )
+    FailureInjector(
+        runtime,
+        [
+            HotplugEvent(at_seconds=2.0, action="fail", device_index=1),
+            HotplugEvent(at_seconds=4.0, action="add", spec=TESLA_C2050),
+            HotplugEvent(at_seconds=6.0, action="add", spec=QUADRO_2000),
+        ],
+    ).start()
+    env.run()
+    assert len(results) == 10
+    assert runtime.stats.failures_recovered >= 0  # lazy discovery may vary
+    # Failed devices remain registered (marked failed); the additions are
+    # live: 2 initial + 2 added, of which one failed.
+    assert driver.device_count() == 4
+    healthy = [d for d in driver.devices if not d.failed]
+    assert len(healthy) == 3

@@ -1,0 +1,60 @@
+"""ASCII bar-chart rendering tests."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_bars
+
+
+def sample_result():
+    return FigureResult(
+        figure="Figure X",
+        x_label="jobs",
+        x_values=[8, 16],
+        series={
+            "serialized execution (1 vGPU)": [100.0, 200.0],
+            "GPU sharing (4 vGPUs)": [90.0, 120.0],
+        },
+        annotations={"swaps (4 vGPUs)": [3, 11]},
+    )
+
+
+def test_bars_scale_to_peak():
+    out = format_bars(sample_result(), width=40)
+    lines = out.splitlines()
+    # The tallest bar fills the width; shorter ones are proportional.
+    longest = max(line.count("█") for line in lines)
+    assert longest == 40
+    # 90/200 of 40 ≈ 18
+    bar_90 = next(line for line in lines if "90.0" in line)
+    assert abs(bar_90.count("█") - 18) <= 1
+
+
+def test_bars_annotations_attach_to_matching_series():
+    out = format_bars(sample_result())
+    lines = out.splitlines()
+    sharing_lines = [line for line in lines if "GPU sharing" in line]
+    assert all("[swaps=" in line for line in sharing_lines)
+    serialized_lines = [line for line in lines if "serialized" in line]
+    assert all("[swaps=" not in line for line in serialized_lines)
+
+
+def test_bars_handle_none_values():
+    r = FigureResult(
+        figure="F",
+        x_label="x",
+        x_values=[1],
+        series={"a": [None], "b": [5.0]},
+    )
+    out = format_bars(r)
+    assert "(n/a)" in out
+    assert "5.0" in out
+
+
+def test_bars_empty_series():
+    r = FigureResult(figure="F", x_label="x", x_values=[], series={"a": []})
+    assert "no data" in format_bars(r)
+
+
+def test_every_x_value_gets_a_group():
+    out = format_bars(sample_result())
+    assert "jobs = 8" in out
+    assert "jobs = 16" in out

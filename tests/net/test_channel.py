@@ -1,0 +1,186 @@
+"""Tests for channels, sockets and RPC framing."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.net import (
+    AFUNIX_LINK,
+    Channel,
+    connect,
+    LinkSpec,
+    Listener,
+    Request,
+    RpcClient,
+    RpcServer,
+    TCP_10GBE_LINK,
+)
+
+
+def test_linkspec_transmit_seconds():
+    link = LinkSpec(name="t", latency_s=1e-3, bandwidth_bps=1e6, per_message_overhead_s=1e-4)
+    assert link.transmit_seconds(1000) == pytest.approx(1e-4 + 1e-3)
+    with pytest.raises(ValueError):
+        link.transmit_seconds(-1)
+
+
+def test_channel_delivers_in_order_with_latency():
+    env = Environment()
+    link = LinkSpec(name="t", latency_s=0.5, bandwidth_bps=1e6)
+    ch = Channel(env, link)
+    got = []
+
+    def sender(env):
+        yield from ch.send("a", nbytes=0)
+        yield from ch.send("b", nbytes=0)
+
+    def receiver(env):
+        for _ in range(2):
+            got.append(((yield ch.recv()), env.now))
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert [m for m, _ in got] == ["a", "b"]
+    assert got[0][1] == pytest.approx(0.5)
+
+
+def test_channel_bandwidth_serializes_transmissions():
+    env = Environment()
+    link = LinkSpec(name="t", latency_s=0.0, bandwidth_bps=1e6)  # 1 MB/s
+    ch = Channel(env, link)
+    arrivals = []
+
+    def sender(env):
+        yield from ch.send("big1", nbytes=1_000_000)  # 1 s on the wire
+        yield from ch.send("big2", nbytes=1_000_000)
+
+    def receiver(env):
+        for _ in range(2):
+            yield ch.recv()
+            arrivals.append(env.now)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_channel_send_after_close_raises():
+    env = Environment()
+    ch = Channel(env, AFUNIX_LINK)
+    ch.close()
+
+    def sender(env):
+        yield from ch.send("x")
+
+    p = env.process(sender(env))
+    with pytest.raises(ConnectionError):
+        env.run(until=p)
+
+
+def test_socket_pair_roundtrip():
+    env = Environment()
+    listener = Listener(env, name="daemon")
+    results = {}
+
+    def server(env):
+        sock = yield listener.accept()
+        msg = yield sock.recv()
+        results["server_got"] = msg
+        yield from sock.send("pong")
+
+    def client(env):
+        sock = connect(env, listener, client_name="app")
+        yield from sock.send("ping")
+        results["client_got"] = yield sock.recv()
+
+    env.process(server(env))
+    env.process(client(env))
+    env.run()
+    assert results == {"server_got": "ping", "client_got": "pong"}
+
+
+def test_multiple_connections_accepted_fifo():
+    env = Environment()
+    listener = Listener(env)
+    accepted = []
+
+    def server(env):
+        for _ in range(3):
+            sock = yield listener.accept()
+            accepted.append(sock.peer_name)
+
+    def clients(env):
+        for name in ("c1", "c2", "c3"):
+            connect(env, listener, client_name=name)
+        yield env.timeout(0)
+
+    env.process(server(env))
+    env.process(clients(env))
+    env.run()
+    assert accepted == ["c1", "c2", "c3"]
+
+
+def test_rpc_call_response_matching():
+    env = Environment()
+    listener = Listener(env)
+
+    def handler(request):
+        if request.method == "add":
+            yield env.timeout(0.001)
+            return request.args["a"] + request.args["b"]
+        raise ValueError(f"unknown method {request.method}")
+
+    def server(env):
+        sock = yield listener.accept()
+        yield from RpcServer(sock, handler).serve()
+
+    out = {}
+
+    def client(env):
+        sock = connect(env, listener)
+        rpc = RpcClient(sock)
+        out["sum"] = yield from rpc.call("add", a=2, b=3)
+
+    env.process(server(env))
+    env.process(client(env))
+    env.run(until=env.timeout(1))
+    assert out["sum"] == 5
+
+
+def test_rpc_server_marshals_exceptions():
+    env = Environment()
+    listener = Listener(env)
+
+    def handler(request):
+        yield env.timeout(0)
+        raise KeyError("nope")
+
+    def server(env):
+        sock = yield listener.accept()
+        yield from RpcServer(sock, handler).serve()
+
+    caught = []
+
+    def client(env):
+        rpc = RpcClient(connect(env, listener))
+        try:
+            yield from rpc.call("whatever")
+        except KeyError as exc:
+            caught.append(str(exc))
+
+    env.process(server(env))
+    env.process(client(env))
+    env.run(until=env.timeout(1))
+    assert caught == ["'nope'"]
+
+
+def test_tcp_link_slower_than_afunix():
+    big = 10_000_000
+    assert TCP_10GBE_LINK.transmit_seconds(big) > AFUNIX_LINK.transmit_seconds(big)
+    assert TCP_10GBE_LINK.latency_s > AFUNIX_LINK.latency_s
+
+
+def test_request_wire_bytes_include_header():
+    r = Request(method="m", payload_bytes=100)
+    assert r.wire_bytes == 164

@@ -1,0 +1,88 @@
+"""Wire-timing tests: payload sizes translate into transfer time, which
+is where the runtime's interception overhead comes from."""
+
+import pytest
+
+from repro.net import AFUNIX_LINK, Listener, RpcClient, RpcServer, connect
+from repro.sim import Environment
+
+
+def echo_server(env, listener, response_bytes=0):
+    def handler(request):
+        yield env.timeout(0)
+        if response_bytes:
+            return ("__bytes__", response_bytes)
+        return request.args.get("x")
+
+    def serve():
+        sock = yield listener.accept()
+        yield from RpcServer(sock, handler).serve()
+
+    env.process(serve())
+
+
+def timed_call(payload_bytes=0, response_bytes=0):
+    env = Environment()
+    listener = Listener(env)
+    echo_server(env, listener, response_bytes)
+    out = {}
+
+    def client():
+        rpc = RpcClient(connect(env, listener))
+        t0 = env.now
+        yield from rpc.call("op", payload_bytes=payload_bytes, x=1)
+        out["elapsed"] = env.now - t0
+
+    p = env.process(client())
+    env.run(until=p)
+    return out["elapsed"]
+
+
+def test_bigger_request_payload_takes_longer():
+    small = timed_call(payload_bytes=1_000)
+    big = timed_call(payload_bytes=100_000_000)
+    assert big > small
+    # 100 MB at the afunix bandwidth dominates: ~25 ms.
+    assert big - small == pytest.approx(
+        (100_000_000 - 1_000) / AFUNIX_LINK.bandwidth_bps, rel=0.05
+    )
+
+
+def test_response_payload_charged_on_the_way_back():
+    no_data = timed_call()
+    with_data = timed_call(response_bytes=50_000_000)
+    assert with_data > no_data
+
+
+def test_minimum_call_cost_is_two_messages():
+    elapsed = timed_call()
+    # Two transmissions (request+response): ≥ 2 × per-message overhead
+    # plus two propagation latencies.
+    floor = 2 * AFUNIX_LINK.per_message_overhead_s + 2 * AFUNIX_LINK.latency_s
+    assert elapsed >= floor
+
+
+def test_concurrent_clients_are_independent_connections():
+    env = Environment()
+    listener = Listener(env)
+    done = []
+
+    def handler(request):
+        yield env.timeout(0.01)
+        return request.args["who"]
+
+    def serve_all():
+        while True:
+            sock = yield listener.accept()
+            env.process(RpcServer(sock, handler).serve())
+
+    def client(who):
+        rpc = RpcClient(connect(env, listener))
+        result = yield from rpc.call("op", who=who)
+        done.append(result)
+
+    env.process(serve_all())
+    for i in range(5):
+        env.process(client(f"c{i}"))
+    env.run(until=env.timeout(1.0))
+    assert sorted(done) == [f"c{i}" for i in range(5)]

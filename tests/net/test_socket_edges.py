@@ -1,0 +1,78 @@
+"""Socket/channel edge cases."""
+
+import pytest
+
+from repro.net import AFUNIX_LINK, Channel, connect, Listener
+from repro.sim import Environment
+
+
+def test_try_recv_nonblocking():
+    env = Environment()
+    ch = Channel(env, AFUNIX_LINK)
+    assert ch.try_recv() is None
+
+    def sender():
+        yield from ch.send("x")
+
+    env.process(sender())
+    env.run()
+    assert ch.try_recv() == "x"
+    assert ch.try_recv() is None
+
+
+def test_channel_pending_counts_undelivered():
+    env = Environment()
+    ch = Channel(env, AFUNIX_LINK)
+
+    def sender():
+        for i in range(3):
+            yield from ch.send(i)
+
+    env.process(sender())
+    env.run()
+    assert ch.pending == 3
+
+
+def test_socket_close_prevents_send():
+    env = Environment()
+    listener = Listener(env)
+    sock = connect(env, listener)
+    sock.close()
+    assert sock.closed
+
+    def sender():
+        yield from sock.send("x")
+
+    p = env.process(sender())
+    with pytest.raises(ConnectionError):
+        env.run(until=p)
+
+
+def test_socket_bytes_sent_accounting():
+    env = Environment()
+    listener = Listener(env)
+    done = {}
+
+    def server():
+        s = yield listener.accept()
+        yield s.recv()
+        done["ok"] = True
+
+    def client():
+        s = connect(env, listener)
+        yield from s.send("payload", nbytes=1234)
+        done["sent"] = s.bytes_sent
+
+    env.process(server())
+    env.process(client())
+    env.run()
+    assert done["sent"] == 1234
+    assert done["ok"]
+
+
+def test_listener_backlog_counts():
+    env = Environment()
+    listener = Listener(env, name="l")
+    connect(env, listener)
+    connect(env, listener)
+    assert listener.backlog == 2

@@ -1,0 +1,39 @@
+"""Unit tests for seeded RNG streams."""
+
+from repro.sim import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(seed=1).stream("jobs").random(5).tolist()
+    b = RngStreams(seed=1).stream("jobs").random(5).tolist()
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("jobs").random(5).tolist()
+    b = RngStreams(seed=2).stream("jobs").random(5).tolist()
+    assert a != b
+
+
+def test_named_streams_independent():
+    rngs = RngStreams(seed=7)
+    jobs_draw = rngs.stream("jobs").random(3).tolist()
+
+    rngs2 = RngStreams(seed=7)
+    # Consuming from another stream first must not perturb "jobs".
+    rngs2.stream("failures").random(100)
+    assert rngs2.stream("jobs").random(3).tolist() == jobs_draw
+
+
+def test_stream_is_cached():
+    rngs = RngStreams(seed=0)
+    assert rngs.stream("x") is rngs.stream("x")
+
+
+def test_spawn_children_deterministic_and_distinct():
+    parent = RngStreams(seed=3)
+    c1 = parent.spawn("rep0")
+    c2 = parent.spawn("rep1")
+    again = RngStreams(seed=3).spawn("rep0")
+    assert c1.stream("jobs").random(4).tolist() == again.stream("jobs").random(4).tolist()
+    assert c1.seed != c2.seed

@@ -1,0 +1,226 @@
+"""Unit tests for simulated synchronization primitives."""
+
+import pytest
+
+from repro.sim import Condition, Environment, FifoQueue, Lock, Semaphore, SimulationError
+
+
+# ---------------------------------------------------------------------------
+# Lock
+# ---------------------------------------------------------------------------
+
+def test_lock_mutual_exclusion():
+    env = Environment()
+    lock = Lock(env)
+    inside = []
+
+    def critical(env, name):
+        yield lock.acquire()
+        try:
+            inside.append(name)
+            assert len(inside) == 1
+            yield env.timeout(1)
+        finally:
+            inside.remove(name)
+            lock.release()
+
+    for n in "abc":
+        env.process(critical(env, n))
+    env.run()
+    assert inside == []
+    assert env.now == 3
+
+
+def test_lock_fifo_handoff():
+    env = Environment()
+    lock = Lock(env)
+    order = []
+
+    def proc(env, name):
+        yield lock.acquire()
+        order.append(name)
+        yield env.timeout(1)
+        lock.release()
+
+    for n in "xyz":
+        env.process(proc(env, n))
+    env.run()
+    assert order == list("xyz")
+
+
+def test_lock_release_unlocked_raises():
+    env = Environment()
+    lock = Lock(env)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_lock_locked_property():
+    env = Environment()
+    lock = Lock(env)
+    assert not lock.locked
+    lock.acquire()
+    assert lock.locked
+    lock.release()
+    assert not lock.locked
+
+
+# ---------------------------------------------------------------------------
+# Semaphore
+# ---------------------------------------------------------------------------
+
+def test_semaphore_counts():
+    env = Environment()
+    sem = Semaphore(env, value=2)
+    entered = []
+
+    def proc(env, name):
+        yield sem.acquire()
+        entered.append((env.now, name))
+        yield env.timeout(5)
+        sem.release()
+
+    for n in "abc":
+        env.process(proc(env, n))
+    env.run()
+    assert [n for _, n in entered] == ["a", "b", "c"]
+    assert entered[2][0] == 5
+
+
+def test_semaphore_negative_value_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Semaphore(env, value=-1)
+
+
+def test_semaphore_release_without_waiter_increments():
+    env = Environment()
+    sem = Semaphore(env, value=0)
+    sem.release()
+    assert sem.value == 1
+
+
+# ---------------------------------------------------------------------------
+# Condition
+# ---------------------------------------------------------------------------
+
+def test_condition_notify_wakes_one():
+    env = Environment()
+    cond = Condition(env)
+    woken = []
+
+    def waiter(env, name):
+        v = yield cond.wait()
+        woken.append((name, v))
+
+    def notifier(env):
+        yield env.timeout(1)
+        cond.notify("first")
+        yield env.timeout(1)
+        cond.notify("second")
+
+    env.process(waiter(env, "a"))
+    env.process(waiter(env, "b"))
+    env.process(notifier(env))
+    env.run()
+    assert woken == [("a", "first"), ("b", "second")]
+
+
+def test_condition_notify_all():
+    env = Environment()
+    cond = Condition(env)
+    woken = []
+
+    def waiter(env, name):
+        yield cond.wait()
+        woken.append(name)
+
+    def notifier(env):
+        yield env.timeout(1)
+        n = cond.notify_all()
+        assert n == 3
+
+    for n in "abc":
+        env.process(waiter(env, n))
+    env.process(notifier(env))
+    env.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_condition_notify_empty_returns_false():
+    env = Environment()
+    cond = Condition(env)
+    assert cond.notify() is False
+    assert cond.notify_all() == 0
+    assert cond.waiting == 0
+
+
+# ---------------------------------------------------------------------------
+# FifoQueue
+# ---------------------------------------------------------------------------
+
+def test_fifoqueue_put_get():
+    env = Environment()
+    q = FifoQueue(env)
+    out = []
+
+    def consumer(env):
+        for _ in range(2):
+            item = yield q.get()
+            out.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(2)
+        q.put("a")
+        yield env.timeout(2)
+        q.put("b")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert out == [(2, "a"), (4, "b")]
+
+
+def test_fifoqueue_put_front():
+    env = Environment()
+    q = FifoQueue(env)
+    q.put("second")
+    q.put_front("first")
+    assert q.try_get() == "first"
+    assert q.try_get() == "second"
+    assert q.try_get() is None
+
+
+def test_fifoqueue_remove():
+    env = Environment()
+    q = FifoQueue(env)
+    q.put("a")
+    q.put("b")
+    assert q.remove("a") is True
+    assert q.remove("a") is False
+    assert len(q) == 1
+
+
+def test_fifoqueue_waiting_getter_served_directly():
+    env = Environment()
+    q = FifoQueue(env)
+    got = []
+
+    def consumer(env):
+        got.append((yield q.get()))
+
+    env.process(consumer(env))
+    env.run()  # consumer now blocked
+    q.put("direct")
+    env.run()
+    assert got == ["direct"]
+    assert len(q) == 0
+
+
+def test_fifoqueue_iter_snapshot():
+    env = Environment()
+    q = FifoQueue(env)
+    q.put(1)
+    q.put(2)
+    assert list(q) == [1, 2]
+    assert len(q) == 2  # iteration does not consume

@@ -1,0 +1,166 @@
+"""Unit + property tests for the fragmentation-aware device allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcuda.allocator import DeviceAllocator, OutOfMemory
+
+KIB = 1024
+MIB = 1024**2
+
+
+def test_allocate_returns_distinct_addresses():
+    a = DeviceAllocator(1 * MIB)
+    p1 = a.allocate(1000)
+    p2 = a.allocate(1000)
+    assert p1 != p2
+    assert a.allocation_count == 2
+
+
+def test_alignment():
+    a = DeviceAllocator(1 * MIB)
+    p = a.allocate(1)
+    assert p % DeviceAllocator.ALIGNMENT == 0
+    assert a.size_of(p) == DeviceAllocator.ALIGNMENT
+
+
+def test_free_returns_bytes_and_coalesces():
+    a = DeviceAllocator(1 * MIB)
+    p1 = a.allocate(100 * KIB)
+    p2 = a.allocate(100 * KIB)
+    p3 = a.allocate(100 * KIB)
+    a.free(p1)
+    a.free(p3)
+    a.free(p2)  # middle free must coalesce everything back
+    assert a.free_bytes == 1 * MIB
+    assert a.largest_free_block == 1 * MIB
+
+
+def test_oom_on_capacity():
+    a = DeviceAllocator(100 * KIB)
+    a.allocate(90 * KIB)
+    with pytest.raises(OutOfMemory):
+        a.allocate(20 * KIB)
+
+
+def test_fragmentation_blocks_large_alloc_despite_free_bytes():
+    """Free bytes may be sufficient while no single block is — the reason
+    the paper's runtime must also consult cudaMalloc's return code."""
+    a = DeviceAllocator(1 * MIB)
+    blocks = [a.allocate(128 * KIB) for _ in range(8)]
+    assert a.free_bytes == 0
+    # Free alternating blocks -> 512 KiB free but fragmented in 128 KiB holes
+    for p in blocks[::2]:
+        a.free(p)
+    assert a.free_bytes == 512 * KIB
+    assert a.largest_free_block == 128 * KIB
+    assert not a.can_allocate(256 * KIB)
+    with pytest.raises(OutOfMemory):
+        a.allocate(256 * KIB)
+    assert a.fragmentation() > 0.5
+
+
+def test_double_free_raises():
+    a = DeviceAllocator(1 * MIB)
+    p = a.allocate(1000)
+    a.free(p)
+    with pytest.raises(KeyError):
+        a.free(p)
+
+
+def test_free_unknown_address_raises():
+    a = DeviceAllocator(1 * MIB)
+    with pytest.raises(KeyError):
+        a.free(0xDEAD)
+
+
+def test_zero_and_negative_sizes_rejected():
+    a = DeviceAllocator(1 * MIB)
+    with pytest.raises(ValueError):
+        a.allocate(0)
+    with pytest.raises(ValueError):
+        a.allocate(-5)
+    assert not a.can_allocate(0)
+
+
+def test_reset_restores_full_capacity():
+    a = DeviceAllocator(1 * MIB)
+    for _ in range(5):
+        a.allocate(10 * KIB)
+    a.reset()
+    assert a.free_bytes == 1 * MIB
+    assert a.allocation_count == 0
+
+
+def test_owns():
+    a = DeviceAllocator(1 * MIB)
+    p = a.allocate(100)
+    assert a.owns(p)
+    assert not a.owns(p + 1)
+    a.free(p)
+    assert not a.owns(p)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        DeviceAllocator(0)
+
+
+def test_base_address_nonzero():
+    a = DeviceAllocator(1 * MIB)
+    assert a.allocate(100) >= DeviceAllocator.BASE_ADDRESS
+
+
+# ---------------------------------------------------------------------------
+# property-based: the allocator never loses or invents memory, never
+# overlaps live allocations, and always coalesces adjacent free blocks.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 64 * KIB)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_allocator_invariants(ops):
+    a = DeviceAllocator(512 * KIB)
+    live = []
+    for kind, size in ops:
+        if kind == "alloc":
+            try:
+                p = a.allocate(size)
+            except OutOfMemory:
+                # OOM must only happen when no block fits.
+                assert a.largest_free_block < a._round_up(size)
+                continue
+            live.append(p)
+        elif live:
+            idx = size % len(live)
+            a.free(live.pop(idx))
+
+        # Invariant 1: conservation of bytes.
+        assert a.used_bytes + a.free_bytes == a.capacity
+        # Invariant 2: live allocations do not overlap.
+        spans = sorted((addr, addr + a.size_of(addr)) for addr in live)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        # Invariant 3: free list is sorted, non-overlapping, coalesced.
+        free = a._free
+        for (a1, n1), (a2, _n2) in zip(free, free[1:]):
+            assert a1 + n1 < a2  # strictly apart (equal would mean uncoalesced)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes=st.lists(st.integers(1, 32 * KIB), min_size=1, max_size=40))
+def test_alloc_all_then_free_all_restores_capacity(sizes):
+    a = DeviceAllocator(4 * MIB)
+    ptrs = []
+    for s in sizes:
+        ptrs.append(a.allocate(s))
+    for p in reversed(ptrs):
+        a.free(p)
+    assert a.free_bytes == a.capacity
+    assert a.largest_free_block == a.capacity

@@ -1,0 +1,140 @@
+"""Tests for the per-thread CUDA Runtime API facade (the bare-runtime path)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simcuda import (
+    CudaDriver,
+    CudaError,
+    CudaRuntimeAPI,
+    CudaRuntimeError,
+    FatBinary,
+    KernelDescriptor,
+    KernelLaunch,
+    TESLA_C1060,
+    TESLA_C2050,
+)
+
+MIB = 1024**2
+
+
+def setup():
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050, TESLA_C1060])
+    api = CudaRuntimeAPI(driver, owner="app0")
+    return env, driver, api
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run(until=p)
+    return p.value
+
+
+def test_device_count():
+    env, driver, api = setup()
+    assert api.cuda_get_device_count() == 2
+
+
+def test_lazy_context_on_first_malloc():
+    env, driver, api = setup()
+    assert api.context is None
+    run(env, api.cuda_malloc(MIB))
+    assert api.context is not None
+    assert api.context.device is driver.devices[0]
+
+
+def test_set_device_directs_context():
+    env, driver, api = setup()
+    api.cuda_set_device(driver.devices[1].device_id)
+    run(env, api.cuda_malloc(MIB))
+    assert api.context.device is driver.devices[1]
+
+
+def test_set_device_after_context_fails():
+    env, driver, api = setup()
+    run(env, api.cuda_malloc(MIB))
+    with pytest.raises(CudaRuntimeError) as e:
+        api.cuda_set_device(driver.devices[1].device_id)
+    assert e.value.code == CudaError.cudaErrorSetOnActiveProcess
+
+
+def test_launch_requires_configure_call():
+    env, driver, api = setup()
+    k = KernelDescriptor(name="k", flops=1e9)
+    with pytest.raises(CudaRuntimeError) as e:
+        run(env, api.cuda_launch(KernelLaunch.simple(k, [])))
+    assert e.value.code == CudaError.cudaErrorMissingConfiguration
+
+
+def test_full_application_flow():
+    env, driver, api = setup()
+    fatbin = FatBinary()
+    k = KernelDescriptor(name="vecadd", flops=1e9)
+
+    def app():
+        yield from api.register_fat_binary(fatbin)
+        yield from api.register_function(fatbin, k)
+        a = yield from api.cuda_malloc(10 * MIB)
+        yield from api.cuda_memcpy_h2d(a, 10 * MIB)
+        api.cuda_configure_call(grid=(100, 1, 1))
+        yield from api.cuda_launch(KernelLaunch.simple(k, [a]))
+        yield from api.cuda_memcpy_d2h(a, 10 * MIB)
+        yield from api.cuda_free(a)
+        yield from api.cuda_thread_exit()
+
+    run(env, app())
+    assert driver.devices[0].kernels_executed == 1
+    assert driver.devices[0].free_memory == driver.devices[0].memory_capacity
+
+
+def test_last_error_latched_and_cleared():
+    env, driver, api = setup()
+    with pytest.raises(CudaRuntimeError):
+        run(env, api.cuda_malloc(100 * 1024**3))  # 100 GiB
+    assert api.cuda_get_last_error() == CudaError.cudaErrorMemoryAllocation
+    assert api.cuda_get_last_error() == CudaError.cudaSuccess
+
+
+def test_register_function_requires_registered_fatbin():
+    env, driver, api = setup()
+    k = KernelDescriptor(name="k", flops=1)
+    with pytest.raises(CudaRuntimeError):
+        run(env, api.register_function(FatBinary(), k))
+
+
+def test_thread_exit_without_context_is_noop():
+    env, driver, api = setup()
+    run(env, api.cuda_thread_exit())
+    assert api.context is None
+
+
+def test_no_device_error():
+    env = Environment()
+    driver = CudaDriver(env, [])
+    api = CudaRuntimeAPI(driver)
+
+    def app():
+        yield from api.cuda_malloc(MIB)
+
+    p = env.process(app())
+    with pytest.raises(CudaRuntimeError) as e:
+        env.run(until=p)
+    assert e.value.code == CudaError.cudaErrorNoDevice
+
+
+def test_fatbin_sharing_exclusion_flags():
+    fb = FatBinary()
+    fb.register_function(KernelDescriptor(name="a", flops=1, uses_dynamic_alloc=True))
+    assert fb.needs_exclusion_from_sharing
+    fb2 = FatBinary()
+    fb2.register_function(KernelDescriptor(name="b", flops=1, has_pointer_nesting=True))
+    assert fb2.has_pointer_nesting
+    assert not fb2.needs_exclusion_from_sharing
+
+
+def test_fatbin_duplicate_function_rejected():
+    fb = FatBinary()
+    fb.register_function(KernelDescriptor(name="a", flops=1))
+    with pytest.raises(ValueError):
+        fb.register_function(KernelDescriptor(name="a", flops=2))

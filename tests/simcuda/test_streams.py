@@ -1,0 +1,80 @@
+"""Tests for CUDA streams (in-order async queues)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simcuda import CudaDriver, KernelDescriptor, KernelLaunch, TESLA_C2050
+from repro.simcuda.streams import Stream
+from repro.simcuda import timing
+
+MIB = 1024**2
+
+
+def setup():
+    env = Environment()
+    driver = CudaDriver(env, [TESLA_C2050])
+    return env, driver
+
+
+def test_stream_executes_in_order_and_synchronize_blocks():
+    env, driver = setup()
+    dev = driver.devices[0]
+    k = KernelDescriptor(name="k", flops=TESLA_C2050.effective_gflops * 1e8)  # 0.1 s
+
+    def app():
+        ctx = yield from driver.create_context(dev)
+        a = yield from driver.malloc(ctx, 100 * MIB)
+        s = Stream(driver, ctx)
+        s.memcpy_h2d_async(a, 100 * MIB)
+        s.launch_async(KernelLaunch.simple(k, [a]))
+        s.memcpy_d2h_async(a, 100 * MIB)
+        t0 = env.now
+        yield from s.synchronize()
+        return env.now - t0
+
+    p = env.process(app())
+    env.run(until=p)
+    expected = 2 * timing.copy_seconds(TESLA_C2050, 100 * MIB) + timing.kernel_seconds(
+        TESLA_C2050, k
+    )
+    assert p.value == pytest.approx(expected, rel=0.01)
+    assert dev.kernels_executed == 1
+
+
+def test_two_streams_overlap_copy_and_compute():
+    env, driver = setup()
+    dev = driver.devices[0]
+    k = KernelDescriptor(name="k", flops=TESLA_C2050.effective_gflops * 1e9)  # 1 s
+
+    def app():
+        ctx = yield from driver.create_context(dev)
+        a = yield from driver.malloc(ctx, MIB)
+        b = yield from driver.malloc(ctx, 500 * MIB)
+        s1 = Stream(driver, ctx)
+        s2 = Stream(driver, ctx)
+        t0 = env.now
+        s1.launch_async(KernelLaunch.simple(k, [a]))
+        s2.memcpy_h2d_async(b, 500 * MIB)
+        yield from s1.synchronize()
+        yield from s2.synchronize()
+        return env.now - t0
+
+    p = env.process(app())
+    env.run(until=p)
+    # Total should be ~max(kernel, copy) = ~1 s, not the ~1.1 s sum.
+    assert p.value == pytest.approx(timing.kernel_seconds(TESLA_C2050, k), rel=0.02)
+
+
+def test_synchronize_on_empty_stream_returns_immediately():
+    env, driver = setup()
+
+    def app():
+        ctx = yield from driver.create_context(driver.devices[0])
+        s = Stream(driver, ctx)
+        t0 = env.now
+        yield from s.synchronize()
+        return env.now - t0
+
+    p = env.process(app())
+    env.run(until=p)
+    assert p.value == 0

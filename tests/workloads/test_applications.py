@@ -1,0 +1,157 @@
+"""Application execution tests: the same program runs on the bare CUDA
+runtime and on the paper's runtime, with consistent behaviour."""
+
+import pytest
+
+from repro.cluster.node import ComputeNode
+from repro.core import RuntimeConfig
+from repro.sim import Environment
+from repro.simcuda import TESLA_C2050
+from repro.workloads import make_job, workload
+from repro.workloads.base import Application, BareCudaAdapter
+from repro.simcuda.runtime_api import CudaRuntimeAPI
+
+
+def make_node(env, with_runtime=True, vgpus=4, specs=None):
+    cfg = RuntimeConfig(vgpus_per_device=vgpus) if with_runtime else None
+    node = ComputeNode(env, "n0", specs or [TESLA_C2050], runtime_config=cfg)
+    env.process(node.start())
+    return node
+
+
+@pytest.mark.parametrize("tag", ["HS", "BFS", "MT", "BS-S"])
+def test_short_apps_run_on_bare_cuda(tag):
+    env = Environment()
+    node = make_node(env, with_runtime=False)
+    job = make_job(workload(tag), use_runtime=False)
+    p = env.process(job.execute(node, submitted_at=0.0))
+    env.run(until=p)
+    assert job.outcome.ok
+    # Runtime ≈ GPU seconds + transfers, inside the short-running window.
+    assert 2.5 < job.outcome.execution_time < 8.0
+
+
+@pytest.mark.parametrize("tag", ["HS", "NW", "SC"])
+def test_short_apps_run_through_runtime(tag):
+    env = Environment()
+    node = make_node(env, with_runtime=True)
+    job = make_job(workload(tag), use_runtime=True)
+    p = env.process(job.execute(node, submitted_at=0.0))
+    env.run(until=p)
+    assert job.outcome.ok
+    assert node.runtime.stats.kernels_launched == workload(tag).kernel_calls
+
+
+def test_runtime_overhead_is_modest_for_single_job():
+    """Paper §5.3.1: worst-case framework overhead ≈10% on short jobs."""
+
+    def run(use_runtime):
+        env = Environment()
+        node = make_node(env, with_runtime=use_runtime, vgpus=1)
+        job = make_job(workload("SC"), use_runtime=use_runtime)
+
+        def delayed():
+            # let vGPU startup finish so overhead excludes boot time
+            yield env.timeout(1.0)
+            yield from job.execute(node, submitted_at=env.now)
+
+        p = env.process(delayed())
+        env.run(until=p)
+        return job.outcome.execution_time
+
+    bare = run(False)
+    ours = run(True)
+    overhead = (ours - bare) / bare
+    assert 0 <= overhead < 0.15, f"overhead {overhead:.1%}"
+
+
+def test_cpu_fraction_stretches_wall_time_not_gpu_time():
+    env = Environment()
+    node = make_node(env, with_runtime=False)
+    spec = workload("MM-L").with_cpu_fraction(1.0)
+    job = make_job(spec, use_runtime=False)
+    p = env.process(job.execute(node, submitted_at=0.0))
+    env.run(until=p)
+    t = job.outcome.execution_time
+    # ≈ 20 s GPU + 20 s CPU + transfers
+    assert t > 38.0
+    gpu_busy = node.driver.devices[0].busy_seconds
+    assert gpu_busy == pytest.approx(20.0, rel=0.05)
+
+
+def test_cpu_phases_contend_for_node_cores():
+    """CPU phases occupy hardware threads: with CPU-heavy jobs, a
+    single-core node is CPU-bound while a multi-core node overlaps the
+    jobs' CPU phases."""
+
+    def makespan(cores):
+        env = Environment()
+        node = ComputeNode(env, "tiny", [TESLA_C2050], cpu_threads=cores)
+        spec = workload("MM-L").with_cpu_fraction(4.0)  # 80 s CPU per job
+        done = []
+
+        def run_job(i):
+            job = make_job(spec, name=f"j{i}", use_runtime=False)
+            yield from job.execute(node, submitted_at=0.0)
+            done.append(env.now)
+
+        env.process(run_job(0))
+        env.process(run_job(1))
+        env.run()
+        return max(done)
+
+    single = makespan(1)
+    multi = makespan(8)
+    assert single >= 160  # 2 × 80 s of CPU serialized on one core
+    assert multi < single - 30  # cores overlap the CPU phases
+
+
+def test_job_outcome_records_error():
+    env = Environment()
+    node = make_node(env, with_runtime=False, specs=[TESLA_C2050])
+
+    from repro.cluster.jobs import Job
+
+    def failing_body(node):
+        yield env.timeout(0.1)
+        raise RuntimeError("boom")
+
+    job = Job("bad", failing_body)
+    p = env.process(job.execute(node, submitted_at=0.0))
+    with pytest.raises(RuntimeError):
+        env.run(until=p)
+    assert not job.outcome.ok
+    assert isinstance(job.outcome.error, RuntimeError)
+
+
+def test_intermediate_d2h_pattern():
+    """NW issues intermediate device→host transfers (the app₂ pattern of
+    Figure 1: some c_DH transfers are already part of the program)."""
+    env = Environment()
+    node = make_node(env, with_runtime=True)
+    job = make_job(workload("NW"), use_runtime=True)
+    p = env.process(job.execute(node, submitted_at=0.0))
+    env.run(until=p)
+    # 256 kernels, d2h every 64 → 3 intermediate + 1 final
+    assert node.runtime.stats.d2h_requests == 4
+
+
+def test_draw_short_jobs_deterministic():
+    from repro.sim import RngStreams
+    from repro.workloads import draw_short_jobs
+
+    a = [j.tag for j in draw_short_jobs(RngStreams(7).stream("jobs"), 8)]
+    b = [j.tag for j in draw_short_jobs(RngStreams(7).stream("jobs"), 8)]
+    assert a == b
+    assert len(a) == 8
+
+
+def test_application_buffers_freed_at_end():
+    env = Environment()
+    driver_node = make_node(env, with_runtime=False)
+    api = BareCudaAdapter(CudaRuntimeAPI(driver_node.driver, owner="x"))
+    app = Application(workload("HS"))
+    p = env.process(app.run(api))
+    env.run(until=p)
+    dev = driver_node.driver.devices[0]
+    assert dev.free_memory == dev.memory_capacity  # context destroyed too

@@ -1,0 +1,107 @@
+"""Table 2 catalog tests: the benchmark inventory matches the paper."""
+
+import pytest
+
+from repro.simcuda.device import TESLA_C2050
+from repro.workloads import ALL_WORKLOADS, LONG_RUNNING, SHORT_RUNNING, workload
+
+GIB = 1024**3
+
+#: (tag, kernel calls) — third column of Table 2.
+PAPER_KERNEL_CALLS = {
+    "BP": 40,
+    "BFS": 24,
+    "HS": 1,
+    "NW": 256,
+    "SP": 1,
+    "MT": 816,
+    "PR": 801,
+    "SC": 3300,
+    "BS-S": 256,
+    "VA": 1,
+    "MM-S": 200,
+    "MM-L": 10,
+    "BS-L": 256,
+}
+
+
+def test_thirteen_benchmarks():
+    assert len(ALL_WORKLOADS) == 13
+    assert len(SHORT_RUNNING) == 10
+    assert len(LONG_RUNNING) == 3
+
+
+@pytest.mark.parametrize("tag,calls", sorted(PAPER_KERNEL_CALLS.items()))
+def test_kernel_call_counts_match_paper(tag, calls):
+    assert workload(tag).kernel_calls == calls
+
+
+@pytest.mark.parametrize("spec", SHORT_RUNNING, ids=lambda s: s.tag)
+def test_short_running_jobs_take_3_to_5_seconds_on_c2050(spec):
+    assert 3.0 <= spec.gpu_seconds_c2050 <= 5.0
+    assert not spec.long_running
+
+
+@pytest.mark.parametrize("spec", LONG_RUNNING, ids=lambda s: s.tag)
+def test_long_running_jobs_take_tens_of_seconds(spec):
+    # 30–90 s window including injected CPU phases (paper §5.2): the pure
+    # GPU part is 20 s+; CPU injection stretches it into the window.
+    assert spec.gpu_seconds_c2050 >= 20.0
+    assert spec.long_running
+
+
+@pytest.mark.parametrize("spec", SHORT_RUNNING, ids=lambda s: s.tag)
+def test_short_running_memory_well_below_capacity(spec):
+    """Paper §5.2: short-running apps have memory requirements well below
+    GPU capacity — even eight of the largest must share a C2050."""
+    assert 8 * spec.total_bytes < TESLA_C2050.memory_bytes
+
+
+def test_mml_conflicts_at_three_jobs_per_gpu():
+    """Paper §5.3.3: MM-L data sizes create conflicting memory
+    requirements when more than two jobs map onto the same GPU."""
+    mml = workload("MM-L")
+    reservations = 4 * TESLA_C2050.context_reservation_bytes  # 4 vGPUs
+    usable = TESLA_C2050.memory_bytes - reservations
+    assert 2 * mml.total_bytes <= usable
+    assert 3 * mml.total_bytes > usable
+
+
+def test_bsl_single_gpu_sharing_is_conflict_free():
+    """Paper Figure 8: at a 100/0 BS-L mix there are zero swaps — four
+    BS-L jobs share a C2050 without memory conflicts."""
+    bsl = workload("BS-L")
+    reservations = 4 * TESLA_C2050.context_reservation_bytes
+    usable = TESLA_C2050.memory_bytes - reservations
+    assert 4 * bsl.total_bytes <= usable
+
+
+def test_flops_per_kernel_calibration():
+    spec = workload("HS")
+    total = spec.flops_per_kernel * spec.kernel_calls
+    seconds = total / (TESLA_C2050.effective_gflops * 1e9)
+    assert seconds == pytest.approx(spec.gpu_seconds_c2050)
+
+
+def test_with_cpu_fraction_replaces_only_fraction():
+    base = workload("MM-L")
+    heavy = base.with_cpu_fraction(2.0)
+    assert heavy.cpu_fraction == 2.0
+    assert heavy.kernel_calls == base.kernel_calls
+    assert base.cpu_fraction == 0.0  # original untouched
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(KeyError):
+        workload("NOPE")
+
+
+def test_spec_validation():
+    from repro.workloads.base import WorkloadSpec
+
+    with pytest.raises(ValueError):
+        WorkloadSpec("x", "X", "", kernel_calls=0, gpu_seconds_c2050=1, buffer_bytes=(1,))
+    with pytest.raises(ValueError):
+        WorkloadSpec("x", "X", "", kernel_calls=1, gpu_seconds_c2050=0, buffer_bytes=(1,))
+    with pytest.raises(ValueError):
+        WorkloadSpec("x", "X", "", kernel_calls=1, gpu_seconds_c2050=1, buffer_bytes=())

@@ -1,0 +1,161 @@
+"""Multi-node (BSP) application tests."""
+
+import pytest
+
+from repro.cluster.node import ComputeNode
+from repro.core import RuntimeConfig
+from repro.net.channel import TCP_10GBE_LINK
+from repro.sim import Environment
+from repro.simcuda import TESLA_C2050
+from repro.workloads.multinode import (
+    ClusterAllReduce,
+    ClusterBarrier,
+    MultiNodeSpec,
+    run_multinode_application,
+)
+
+MIB = 1024**2
+
+
+def build_nodes(env, n, vgpus=2):
+    nodes = [
+        ComputeNode(env, f"n{i}", [TESLA_C2050],
+                    runtime_config=RuntimeConfig(vgpus_per_device=vgpus))
+        for i in range(n)
+    ]
+    for node in nodes:
+        env.process(node.start())
+    env.run(until=2.0)
+    return nodes
+
+
+# ---------------------------------------------------------------------------
+# collectives
+# ---------------------------------------------------------------------------
+
+def test_barrier_waits_for_slowest_rank():
+    env = Environment()
+    barrier = ClusterBarrier(env, ranks=3)
+    released = []
+
+    def rank(delay):
+        yield env.timeout(delay)
+        yield from barrier.wait()
+        released.append(env.now)
+
+    for d in (0.1, 0.5, 2.0):
+        env.process(rank(d))
+    env.run()
+    # Everyone leaves together, after the slowest arrival.
+    assert max(released) - min(released) < 1e-3
+    assert min(released) >= 2.0
+    assert barrier.crossings == 1
+
+
+def test_barrier_reusable_across_iterations():
+    env = Environment()
+    barrier = ClusterBarrier(env, ranks=2)
+    counts = []
+
+    def rank(i):
+        for _ in range(5):
+            yield from barrier.wait()
+        counts.append(i)
+
+    env.process(rank(0))
+    env.process(rank(1))
+    env.run()
+    assert barrier.crossings == 5
+    assert sorted(counts) == [0, 1]
+
+
+def test_allreduce_cost_model():
+    env = Environment()
+    ar = ClusterAllReduce(env, ranks=4, link=TCP_10GBE_LINK)
+    t = ar.reduce_seconds(100 * MIB)
+    expected_volume = 2 * 3 / 4 * 100 * MIB
+    assert t >= expected_volume / TCP_10GBE_LINK.bandwidth_bps
+    # Single rank: free.
+    assert ClusterAllReduce(env, ranks=1).reduce_seconds(100 * MIB) == 0.0
+
+
+def test_collective_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ClusterBarrier(env, ranks=0)
+    with pytest.raises(ValueError):
+        ClusterAllReduce(env, ranks=0)
+    with pytest.raises(ValueError):
+        MultiNodeSpec("x", iterations=0, shard_bytes=1, kernel_seconds=1,
+                      halo_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# whole applications
+# ---------------------------------------------------------------------------
+
+SOLVER = MultiNodeSpec(
+    name="solver",
+    iterations=4,
+    shard_bytes=128 * MIB,
+    kernel_seconds=0.5,
+    halo_bytes=8 * MIB,
+    cpu_seconds=0.1,
+)
+
+
+def test_multinode_application_completes():
+    env = Environment()
+    nodes = build_nodes(env, 3)
+    p = env.process(run_multinode_application(env, SOLVER, nodes))
+    env.run(until=p)
+    start, end = p.value
+    assert end > start
+    # Every node executed exactly the rank's kernels.
+    for node in nodes:
+        assert node.driver.devices[0].kernels_executed == SOLVER.iterations
+
+
+def test_ranks_stay_in_lockstep():
+    """All ranks finish within one iteration of each other — the barrier
+    keeps the BSP structure despite independent node schedules."""
+    env = Environment()
+    nodes = build_nodes(env, 4)
+    p = env.process(run_multinode_application(env, SOLVER, nodes))
+    env.run(until=p)
+    # kernels_executed identical across nodes at the end
+    counts = {n.driver.devices[0].kernels_executed for n in nodes}
+    assert counts == {SOLVER.iterations}
+
+
+def test_multinode_with_co_tenants():
+    """A multi-node app shares each node's GPU with a local tenant; the
+    lock-step application still completes, slowed but not broken."""
+    from repro.workloads import make_job, workload
+
+    env = Environment()
+    nodes = build_nodes(env, 2)
+    # Local single-node tenants compete on each node's GPU.
+    tenants = [make_job(workload("BS-S"), name=f"local{i}") for i in range(2)]
+    for tenant, node in zip(tenants, nodes):
+        env.process(tenant.execute(node, submitted_at=env.now))
+    p = env.process(run_multinode_application(env, SOLVER, nodes))
+    env.run(until=p)
+    env.run()
+    assert all(t.outcome.ok for t in tenants)
+    start, end = p.value
+    assert end > start
+
+
+def test_requires_runtime_on_every_node():
+    env = Environment()
+    good = ComputeNode(env, "good", [TESLA_C2050],
+                       runtime_config=RuntimeConfig())
+    bare = ComputeNode(env, "bare", [TESLA_C2050])
+
+    def attempt():
+        yield from run_multinode_application(env, SOLVER, [good, bare])
+
+    p = env.process(attempt())
+    with pytest.raises(ValueError, match="no runtime daemon"):
+        env.run(until=p)

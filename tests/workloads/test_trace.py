@@ -1,0 +1,93 @@
+"""Trace record / serialize / replay tests."""
+
+import pytest
+
+from repro.cluster.node import ComputeNode
+from repro.core import RuntimeConfig
+from repro.sim import Environment
+from repro.simcuda import TESLA_C2050
+from repro.simcuda.runtime_api import CudaRuntimeAPI
+from repro.workloads import workload
+from repro.workloads.base import Application, BareCudaAdapter, FrontendAdapter
+from repro.workloads.trace import CallTrace, TraceRecorder, replay_trace
+
+
+def record_app(tag="HS", cpu_fraction=0.0):
+    env = Environment()
+    node = ComputeNode(env, "rec", [TESLA_C2050])
+    spec = workload(tag)
+    if cpu_fraction:
+        spec = spec.with_cpu_fraction(cpu_fraction)
+    app = Application(spec)
+    inner = BareCudaAdapter(CudaRuntimeAPI(node.driver, owner="rec"))
+    recorder = TraceRecorder(inner, env, name=tag)
+    p = env.process(app.run(recorder, cpu_phase=node.cpu_phase))
+    env.run(until=p)
+    return recorder.trace, env.now
+
+
+def test_recorder_captures_structure():
+    trace, _ = record_app("HS")
+    assert trace.kernel_calls == workload("HS").kernel_calls
+    ops = [e.op for e in trace.events]
+    assert ops.count("malloc") == len(workload("HS").buffer_bytes)
+    assert ops.count("free") == len(workload("HS").buffer_bytes)
+    assert "h2d" in ops and "d2h" in ops
+    assert trace.total_bytes == workload("HS").total_bytes
+
+
+def test_recorder_captures_cpu_gaps():
+    trace, _ = record_app("MM-L", cpu_fraction=1.0)
+    gaps = [e for e in trace.events if e.op == "cpu"]
+    assert gaps
+    total_gap = sum(e.seconds for e in gaps)
+    assert total_gap == pytest.approx(20.0, rel=0.05)  # cpu fraction 1 × 20 s GPU
+
+
+def test_trace_json_roundtrip():
+    trace, _ = record_app("BFS")
+    text = trace.dumps()
+    loaded = CallTrace.loads(text)
+    assert loaded.name == trace.name
+    assert loaded.buffer_sizes == trace.buffer_sizes
+    assert loaded.events == trace.events
+
+
+def test_replay_reproduces_timing_on_same_substrate():
+    trace, recorded_wall = record_app("HS")
+    env = Environment()
+    node = ComputeNode(env, "rep", [TESLA_C2050])
+    api = BareCudaAdapter(CudaRuntimeAPI(node.driver, owner="rep"))
+    p = env.process(replay_trace(trace, api, cpu_phase=node.cpu_phase))
+    env.run(until=p)
+    assert env.now == pytest.approx(recorded_wall, rel=0.02)
+    assert node.driver.devices[0].kernels_executed == trace.kernel_calls
+
+
+def test_replay_through_the_runtime():
+    """A trace recorded on the bare runtime replays through the paper's
+    runtime — the whole point of API compatibility."""
+    trace, _ = record_app("NW")
+    env = Environment()
+    node = ComputeNode(
+        env, "rt", [TESLA_C2050], runtime_config=RuntimeConfig(vgpus_per_device=2)
+    )
+    env.process(node.start())
+    from repro.core import Frontend
+
+    api = FrontendAdapter(Frontend(env, node.runtime.listener, name="replay"))
+    p = env.process(replay_trace(trace, api, cpu_phase=node.cpu_phase))
+    env.run(until=p)
+    env.run()
+    assert node.runtime.stats.kernels_launched == trace.kernel_calls
+    assert node.runtime.memory.swap.used_bytes == 0  # clean exit
+
+
+def test_replay_without_cpu_phases_is_faster():
+    trace, recorded_wall = record_app("MM-L", cpu_fraction=1.0)
+    env = Environment()
+    node = ComputeNode(env, "fast", [TESLA_C2050])
+    api = BareCudaAdapter(CudaRuntimeAPI(node.driver, owner="fast"))
+    p = env.process(replay_trace(trace, api, cpu_phase=None))
+    env.run(until=p)
+    assert env.now < recorded_wall * 0.7  # the 20 s of CPU gaps dropped
