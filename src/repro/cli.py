@@ -20,6 +20,7 @@ from typing import Dict, List
 
 from repro.core.config import RuntimeConfig
 from repro.experiments.harness import run_node_batch
+from repro.obs import ObsCollector
 from repro.experiments.report import format_table
 from repro.simcuda.device import GPUSpec, INTEL_MIC, QUADRO_2000, TESLA_C1060, TESLA_C2050
 from repro.workloads import ALL_WORKLOADS, make_job, workload
@@ -46,26 +47,41 @@ def _parse_gpus(text: str) -> List[GPUSpec]:
     return specs
 
 
+#: Workload mix cycled by bare-integer ``--jobs N`` tokens; deliberately
+#: memory-hungry so that a default run oversubscribes device memory and
+#: exercises the swap path.
+DEFAULT_JOB_MIX = ("MM-L", "BS-L")
+
+
 def _parse_jobs(tokens: List[str], cpu_fraction: float, use_runtime: bool = True):
     jobs = []
+
+    def add(spec) -> None:
+        if cpu_fraction and spec.tag in ("MM-S", "MM-L"):
+            spec = spec.with_cpu_fraction(cpu_fraction)
+        jobs.append(
+            make_job(
+                spec,
+                name=f"{spec.tag}#{len(jobs)}",
+                use_runtime=use_runtime,
+                static_device=len(jobs) if not use_runtime else None,
+            )
+        )
+
     for token in tokens:
+        if token.isdigit():
+            # Bare count: cycle the default mix.
+            for i in range(int(token)):
+                add(workload(DEFAULT_JOB_MIX[i % len(DEFAULT_JOB_MIX)]))
+            continue
         if ":" in token:
             tag, count = token.split(":", 1)
             count = int(count)
         else:
             tag, count = token, 1
         spec = workload(tag)
-        if cpu_fraction and spec.tag in ("MM-S", "MM-L"):
-            spec = spec.with_cpu_fraction(cpu_fraction)
-        for i in range(count):
-            jobs.append(
-                make_job(
-                    spec,
-                    name=f"{spec.tag}#{len(jobs)}",
-                    use_runtime=use_runtime,
-                    static_device=len(jobs) if not use_runtime else None,
-                )
-            )
+        for _ in range(count):
+            add(spec)
     return jobs
 
 
@@ -111,6 +127,13 @@ def cmd_run(args) -> int:
     if not jobs:
         print("no jobs requested", file=sys.stderr)
         return 2
+    collector = None
+    if args.trace_out or args.metrics_out:
+        if args.bare:
+            print("--trace-out/--metrics-out need the runtime; "
+                  "ignored with --bare", file=sys.stderr)
+        else:
+            collector = ObsCollector()
     if args.bare:
         config = None
     else:
@@ -120,8 +143,10 @@ def cmd_run(args) -> int:
             migration_enabled=args.migration,
             kernel_consolidation=args.consolidation,
             defer_transfers=not args.eager_transfers,
+            tracing=bool(args.trace_out),
         )
-    result = run_node_batch(jobs, args.gpus, config, label="cli")
+    result = run_node_batch(jobs, args.gpus, config, label="cli",
+                            collector=collector)
     print(f"jobs: {len(jobs)}   gpus: {len(args.gpus)}   "
           f"mode: {'bare CUDA' if args.bare else f'{args.vgpus} vGPUs/{args.policy}'}")
     print(f"total time : {result.total_time:10.2f} simulated s")
@@ -134,6 +159,13 @@ def cmd_run(args) -> int:
         print("runtime stats:")
         for key, value in interesting.items():
             print(f"  {key:24s} {value}")
+    if collector is not None:
+        if args.trace_out:
+            collector.write_trace(args.trace_out)
+            print(f"trace      : {args.trace_out}")
+        if args.metrics_out:
+            collector.write_metrics(args.metrics_out)
+            print(f"metrics    : {args.metrics_out}")
     return 0 if result.errors == 0 else 1
 
 
@@ -159,8 +191,9 @@ def main(argv=None) -> int:
     )
 
     run = sub.add_parser("run", help="run a job batch on one simulated node")
-    run.add_argument("--jobs", nargs="+", required=True, metavar="TAG[:N]",
-                     help="e.g. MM-L:6 BS-L:2 HS")
+    run.add_argument("--jobs", nargs="+", required=True, metavar="TAG[:N]|N",
+                     help="e.g. MM-L:6 BS-L:2 HS, or a bare count "
+                          "(cycles a default memory-heavy mix)")
     run.add_argument("--gpus", type=_parse_gpus, default=[TESLA_C2050],
                      help="comma list of presets (default: c2050)")
     run.add_argument("--vgpus", type=int, default=4)
@@ -174,6 +207,10 @@ def main(argv=None) -> int:
     run.add_argument("--consolidation", action="store_true")
     run.add_argument("--eager-transfers", action="store_true",
                      help="disable transfer deferral")
+    run.add_argument("--trace-out", metavar="FILE",
+                     help="write a Chrome trace-event JSON of the run")
+    run.add_argument("--metrics-out", metavar="FILE",
+                     help="write Prometheus-style metrics text for the run")
     run.set_defaults(func=cmd_run)
 
     rep = sub.add_parser("reproduce", help="regenerate the paper's figures")

@@ -34,6 +34,7 @@ from repro.sim import Environment, Store
 
 from repro.cluster.jobs import Job, JobOutcome
 from repro.cluster.node import ComputeNode
+from repro.core.monitor import node_report
 
 __all__ = ["Torque", "TorqueMode"]
 
@@ -105,11 +106,17 @@ class Torque:
         return node
 
     def _least_loaded_node(self) -> ComputeNode:
-        """GPU-aware placement from the runtimes' exposed load metric."""
+        """GPU-aware placement from the runtimes' exposed load metric.
+
+        Placement goes through :func:`node_report` — the same snapshot a
+        real head node would poll — rather than reaching into runtime
+        internals, so anything the report exposes (queue depths, the
+        ``metrics`` sub-dict) is available to richer policies.
+        """
         def load(node: ComputeNode) -> float:
             if node.runtime is None:
                 return float("inf")
-            return node.runtime.load_per_vgpu()
+            return node_report(node.runtime)["load_per_vgpu"]
 
         return min(self.nodes, key=load)
 

@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.net.channel import LinkSpec
 from repro.sim import Environment, Resource
 
 from repro.cluster.node import ComputeNode
 from repro.core.frontend import Frontend
+from repro.core.monitor import node_report
 
 __all__ = ["VMSpec", "VirtualMachine", "CloudManager", "VM_SOCKET_LINK"]
 
@@ -162,3 +163,18 @@ class CloudManager:
 
     def vms_on(self, node: ComputeNode) -> List[VirtualMachine]:
         return [vm for vm in self.vms if vm.node is node]
+
+    def node_reports(self) -> Dict[str, Dict[str, object]]:
+        """Monitoring view over the cloud (the Figure 2a dashboard): each
+        node's :func:`node_report` snapshot — including its ``metrics``
+        sub-dict — augmented with VM occupancy."""
+        reports: Dict[str, Dict[str, object]] = {}
+        for node in self.nodes:
+            if node.runtime is not None:
+                report = node_report(node.runtime)
+            else:
+                report = {"node": node.name, "gpus": node.gpu_count}
+            report["vms"] = len(self.vms_on(node))
+            report["vcpus_committed"] = self._committed[node.name]
+            reports[node.name] = report
+        return reports

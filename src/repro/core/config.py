@@ -74,6 +74,12 @@ class RuntimeConfig:
     dispatcher_overhead_s:
         Per-call software cost of interception/dispatch inside the
         runtime daemon.
+    tracing:
+        Structured tracing (:mod:`repro.obs`): emit typed events (call
+        spans, swaps, bindings, migrations, queue depths) on the node's
+        event bus for Chrome-trace / JSON-lines export.  Off by default;
+        when off the instrumentation hooks are single-attribute-check
+        no-ops and simulated times are bit-identical to an untraced run.
     max_failed_rebind_attempts:
         How many times a failed context is rebound to another device
         before the error is propagated to the application.
@@ -95,6 +101,7 @@ class RuntimeConfig:
     cuda4_semantics: bool = False
     kernel_consolidation: bool = False
     dispatcher_overhead_s: float = 30e-6
+    tracing: bool = False
     max_failed_rebind_attempts: int = 3
     #: The paper's nodes have 48 GB of host memory (§5.1); the swap area
     #: may use essentially all of it.

@@ -27,6 +27,9 @@ class ConnectionManager:
         #: dispatcher thread.
         self.pending: FifoQueue = FifoQueue(env)
         self._accepting = False
+        #: Tracing bus (repro.obs), injected by the runtime; pending-list
+        #: depth changes are emitted as QueueDepthChanged events.
+        self.obs = None
 
     @property
     def pending_count(self) -> int:
@@ -42,6 +45,8 @@ class ConnectionManager:
         while True:
             sock: Socket = yield self.listener.accept()
             self.pending.put(sock)
+            if self.obs is not None and self.obs.enabled:
+                self.obs.queue_depth("pending_connections", len(self.pending))
 
     def next_connection(self):
         """Event for the next pending connection (dispatcher side)."""

@@ -56,6 +56,10 @@ class Dispatcher:
         self.stats = runtime.stats
         self.memory = runtime.memory
         self.scheduler = runtime.scheduler
+        self.obs = runtime.obs
+        self._call_latency = runtime.metrics.histogram(
+            "call_latency_seconds", "dispatcher time per intercepted call"
+        )
         #: Failed contexts awaiting/undergoing recovery (paper Figure 3).
         self.failed_contexts: List[Context] = []
         #: All contexts ever served (experiment bookkeeping).
@@ -70,6 +74,11 @@ class Dispatcher:
         while True:
             sock: Socket = yield self.runtime.connections.next_connection()
             self.stats.connections_accepted += 1
+            if self.obs.enabled:
+                self.obs.queue_depth(
+                    "pending_connections", self.runtime.connections.pending_count
+                )
+                self._observe_socket(sock)
             peer = None
             already_offloaded = sock.peer_name.endswith(OFFLOAD_TAG)
             if (
@@ -80,6 +89,8 @@ class Dispatcher:
                 peer = self.runtime.offloader.choose_peer()
             if peer is not None:
                 self.stats.offloads_out += 1
+                if self.obs.enabled:
+                    self.obs.offload(sock.peer_name, peer.name)
                 self.env.process(
                     self.runtime.offloader.proxy(sock, peer),
                     name=f"offload-proxy-{sock.socket_id}",
@@ -88,6 +99,23 @@ class Dispatcher:
                 self.env.process(
                     self._serve_connection(sock), name=f"handler-{sock.socket_id}"
                 )
+
+    def _observe_socket(self, sock: Socket) -> None:
+        """Tracing only: watch the connection's channels — bytes/messages
+        into net counters, receive-queue depth onto the event bus."""
+        metrics = self.runtime.metrics
+        messages = metrics.counter("net_messages_total", "messages over served sockets")
+        nbytes = metrics.counter("net_bytes_total", "payload bytes over served sockets")
+        queue = f"sock{sock.socket_id}-rx"
+
+        def on_activity(direction: str, action: str, n: int, pending: int) -> None:
+            if action == "send":
+                messages.inc()
+                nbytes.inc(n)
+            elif action == "deliver" and direction == "rx":
+                self.obs.queue_depth(queue, pending)
+
+        sock.attach_observer(on_activity)
 
     # ------------------------------------------------------------------
     def _serve_connection(self, sock: Socket) -> Generator:
@@ -99,6 +127,8 @@ class Dispatcher:
             ctx.leave_cpu_phase()
             yield ctx.lock.acquire()
             value, error, resp_bytes = None, None, 0
+            begin_at = self.obs.call_begin(ctx, req.method) if self.obs.enabled else None
+            t0 = self.env.now
             try:
                 while True:
                     try:
@@ -121,6 +151,12 @@ class Dispatcher:
                         error = exc
                         break
             finally:
+                self._call_latency.observe(self.env.now - t0)
+                if begin_at is not None:
+                    self.obs.call_end(
+                        ctx, req.method, begin_at,
+                        error=type(error).__name__ if error is not None else None,
+                    )
                 ctx.enter_cpu_phase(self.env.now)
                 ctx.lock.release()
             resp = Response(
@@ -337,6 +373,8 @@ class Dispatcher:
         if ctx in self.failed_contexts:
             self.failed_contexts.remove(ctx)
         self.stats.failures_recovered += 1
+        if self.obs.enabled:
+            self.obs.failure_recovered(ctx, replayed_kernels=len(pending))
 
     # ------------------------------------------------------------------
     def _exit(self, ctx: Context) -> Generator:

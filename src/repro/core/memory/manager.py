@@ -37,6 +37,7 @@ from repro.core.memory.nested import NestedStructure
 from repro.core.memory.page_table import EntryType, PageTable, PageTableEntry
 from repro.core.memory.swap import SwapArea
 from repro.core.stats import RuntimeStats
+from repro.obs import BYTES_BUCKETS, MetricsRegistry, Tracer
 
 __all__ = ["MemoryManager", "NeedRetry"]
 
@@ -58,10 +59,22 @@ class MemoryManager:
         env: Environment,
         config: RuntimeConfig,
         stats: Optional[RuntimeStats] = None,
+        obs: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.config = config
         self.stats = stats or RuntimeStats()
+        self.obs = obs or Tracer(env)
+        metrics = metrics or MetricsRegistry()
+        self._swap_out_bytes = metrics.histogram(
+            "swap_out_bytes", "device→host write-back size per swapped entry",
+            buckets=BYTES_BUCKETS,
+        )
+        self._swap_in_bytes = metrics.histogram(
+            "swap_in_bytes", "host→device bulk-transfer size per faulted entry",
+            buckets=BYTES_BUCKETS,
+        )
         self.page_table = PageTable()
         self.swap = SwapArea(config.host_swap_capacity_bytes, config.host_memcpy_bps)
         #: parent virtual ptr -> registration
@@ -349,6 +362,9 @@ class MemoryManager:
                 pte.on_copied_to_device()
                 self.stats.h2d_device_transfers += 1
                 self.stats.swap_bytes_in += pte.size
+                self._swap_in_bytes.observe(pte.size)
+                if self.obs.enabled:
+                    self.obs.swap_in(ctx, pte.size)
 
     def _patch_nested_parents(self, ctx: Context, ptes: List[PageTableEntry]) -> Generator:
         """Rewrite embedded device pointers inside nested parents whose
@@ -391,6 +407,9 @@ class MemoryManager:
             yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
             pte.on_copied_to_swap()
             self.stats.swap_bytes_out += pte.size
+        self._swap_out_bytes.observe(pte.size)
+        if self.obs.enabled:
+            self.obs.swap_out(ctx, pte.size)
         yield from ctx.vgpu.free(pte.device_ptr)
         pte.on_device_released()
         if notify:
@@ -509,13 +528,17 @@ class MemoryManager:
     # ------------------------------------------------------------------
     def checkpoint(self, ctx: Context) -> Generator:
         """Write dirty entries back to swap, keeping them resident."""
+        written = 0
         for pte in self.page_table.entries_for(ctx):
             if pte.to_copy_2swap:
                 yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
                 pte.on_copied_to_swap()
                 self.stats.swap_bytes_out += pte.size
+                written += pte.size
         ctx.replay_journal.clear()
         self.stats.checkpoints += 1
+        if self.obs.enabled:
+            self.obs.checkpoint(ctx, written)
 
     def reset_after_failure(self, ctx: Context) -> None:
         """Drop the (lost) device side of every entry without device

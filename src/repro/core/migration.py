@@ -111,17 +111,19 @@ class MigrationManager:
                 ):
                     return
                 src = ctx.vgpu
+                used_p2p = False
                 if self.config.cuda4_semantics:
                     # §4.8: direct GPU-to-GPU transfer for faster
                     # thread-to-GPU remapping; swap path as fallback.
                     ok = yield from self.memory.migrate_context_p2p(ctx, dst)
                     if ok:
                         self.stats.migrations_p2p += 1
+                        used_p2p = True
                     else:
                         yield from self.memory.swap_out_context(ctx)
                 else:
                     yield from self.memory.swap_out_context(ctx)
-                src.unbind(ctx)
+                src.unbind(ctx, "migration")
                 self.stats.unbindings += 1
                 dst.reserved = False
                 dst.bind(ctx)
@@ -129,6 +131,9 @@ class MigrationManager:
                 self.stats.bindings += 1
                 self.stats.migrations += 1
                 ctx.migrations += 1
+                obs = self.runtime.obs
+                if obs.enabled:
+                    obs.migration(ctx, src.device, dst.device, p2p=used_p2p)
                 # The freed slow vGPU can serve the queue (usually empty
                 # here by construction) or trigger further migrations.
                 self.scheduler._grant_waiting()

@@ -33,6 +33,9 @@ class Sample:
     pending_connections: int
     swap_used_bytes: int
     load_per_vgpu: float
+    #: Seconds covered by this sample (time since the previous one); the
+    #: utilization fractions above are averages over exactly this window.
+    interval: float = 0.0
 
 
 def node_report(runtime: NodeRuntime) -> Dict[str, object]:
@@ -50,6 +53,7 @@ def node_report(runtime: NodeRuntime) -> Dict[str, object]:
         "load_per_vgpu": runtime.load_per_vgpu(),
         "free_memory_bytes": {d.device_id: d.free_memory for d in devices},
         "swap_used_bytes": runtime.memory.swap.used_bytes,
+        "metrics": runtime.metrics.snapshot(),
     }
 
 
@@ -66,6 +70,7 @@ class RuntimeMonitor:
         self.env = runtime.env
         self.samples: List[Sample] = []
         self._stopped = False
+        self._process = None
         self._last_busy: Dict[int, float] = {}
         self._last_at: Optional[float] = None
 
@@ -73,8 +78,12 @@ class RuntimeMonitor:
     def start(self, period: float, horizon: Optional[float] = None) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("monitor already running; stop() it first")
         self._stopped = False
-        self.env.process(self._run(period, horizon), name=f"monitor-{self.runtime.name}")
+        self._process = self.env.process(
+            self._run(period, horizon), name=f"monitor-{self.runtime.name}"
+        )
 
     def stop(self) -> None:
         self._stopped = True
@@ -85,6 +94,9 @@ class RuntimeMonitor:
             if horizon is not None and self.env.now - started >= horizon:
                 return
             yield self.env.timeout(period)
+            # stop() may have been called while we slept; no final sample.
+            if self._stopped:
+                return
             self.take_sample()
 
     # ------------------------------------------------------------------
@@ -114,14 +126,29 @@ class RuntimeMonitor:
             pending_connections=self.runtime.connections.pending_count,
             swap_used_bytes=self.runtime.memory.swap.used_bytes,
             load_per_vgpu=self.runtime.load_per_vgpu(),
+            interval=interval,
         )
         self.samples.append(sample)
         return sample
 
     # ------------------------------------------------------------------
     def mean_utilization(self, device_id: int) -> float:
-        values = [s.gpu_utilization.get(device_id, 0.0) for s in self.samples]
-        return sum(values) / len(values) if values else 0.0
+        """Time-weighted mean utilization over the sampled span.
+
+        Each sample's fraction covers its own interval, so irregular
+        sampling (on-demand samples between periodic ones) does not skew
+        the mean toward the more frequently sampled stretches.
+        """
+        if not self.samples:
+            return 0.0
+        total = sum(s.interval for s in self.samples)
+        if total <= 0:
+            values = [s.gpu_utilization.get(device_id, 0.0) for s in self.samples]
+            return sum(values) / len(values)
+        return (
+            sum(s.gpu_utilization.get(device_id, 0.0) * s.interval for s in self.samples)
+            / total
+        )
 
     def peak_waiting(self) -> int:
         return max((s.waiting_contexts for s in self.samples), default=0)

@@ -25,6 +25,7 @@ from repro.core.offload import OffloadManager
 from repro.core.policies import make_policy
 from repro.core.scheduler import Scheduler
 from repro.core.stats import RuntimeStats
+from repro.obs import MetricsRegistry, Tracer
 
 __all__ = ["NodeRuntime"]
 
@@ -46,16 +47,43 @@ class NodeRuntime:
         self.config = config or RuntimeConfig()
         self.name = name or f"runtime{next(_runtime_seq)}"
         self.stats = RuntimeStats()
-        self.memory = MemoryManager(env, self.config, self.stats)
+        #: Structured event bus (repro.obs); disabled unless configured.
+        self.obs = Tracer(env, enabled=self.config.tracing, node=self.name)
+        #: One consistent metrics schema over this node: wraps the flat
+        #: RuntimeStats counters, adds live gauges and the histograms the
+        #: hot paths feed.  Always on (snapshots are pull-based).
+        self.metrics = MetricsRegistry(node=self.name)
+        self.metrics.attach_stats(self.stats)
+        self.memory = MemoryManager(env, self.config, self.stats, obs=self.obs,
+                                    metrics=self.metrics)
         self.scheduler = Scheduler(
-            env, self.config, driver, make_policy(self.config.policy), self.stats
+            env, self.config, driver, make_policy(self.config.policy), self.stats,
+            obs=self.obs, metrics=self.metrics,
         )
         self.connections = ConnectionManager(env, name=self.name)
+        self.connections.obs = self.obs
         self.dispatcher = Dispatcher(self)
         self.migration = MigrationManager(self)
         self.offloader = OffloadManager(self)
         self._failed_devices: Set[int] = set()
         self._started = False
+        # Live gauges: pull-based, so node_report()/exports always see
+        # current state without the hot paths pushing updates.
+        self.metrics.gauge("vgpus_total", "usable vGPUs",
+                           fn=lambda: self.scheduler.total_vgpus)
+        self.metrics.gauge("vgpus_active", "vGPUs serving a context",
+                           fn=lambda: sum(1 for v in self.scheduler.vgpus if v.active))
+        self.metrics.gauge("waiting_contexts", "contexts queued for a vGPU",
+                           fn=lambda: self.scheduler.waiting_count)
+        self.metrics.gauge("pending_connections", "accepted, un-dispatched connections",
+                           fn=lambda: self.connections.pending_count)
+        self.metrics.gauge("load_per_vgpu", "live application threads per vGPU",
+                           fn=self.load_per_vgpu)
+        self.metrics.gauge("swap_used_bytes", "host swap-area occupancy",
+                           fn=lambda: self.memory.swap.used_bytes)
+        # (call_latency_seconds / queue_wait_seconds / swap_*_bytes
+        # histograms are created by the dispatcher, scheduler and memory
+        # manager against this same registry.)
         # Wire the memory manager's collaboration points.
         self.memory.unbind_callback = self._unbind_after_inter_swap
         self.memory.bound_contexts_on = self.scheduler.bound_contexts_on

@@ -22,6 +22,7 @@ from repro.core.context import Context, ContextState
 from repro.core.policies import SchedulingPolicy
 from repro.core.stats import RuntimeStats
 from repro.core.vgpu import VirtualGPU
+from repro.obs import MetricsRegistry, QUEUE_WAIT_BUCKETS_S, Tracer
 
 __all__ = ["Scheduler"]
 
@@ -36,16 +37,26 @@ class Scheduler:
         driver: CudaDriver,
         policy: SchedulingPolicy,
         stats: RuntimeStats,
+        obs: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.config = config
         self.driver = driver
         self.policy = policy
         self.stats = stats
+        self.obs = obs or Tracer(env)
+        metrics = metrics or MetricsRegistry()
+        self._queue_wait = metrics.histogram(
+            "queue_wait_seconds", "time from vGPU request to binding",
+            buckets=QUEUE_WAIT_BUCKETS_S,
+        )
         self.vgpus: List[VirtualGPU] = []
         #: waiting contexts, with the event each blocks on
         self._waiting: List[Context] = []
         self._waiting_events: Dict[Context, Event] = {}
+        #: enqueue timestamps feeding the queue-wait histogram
+        self._enqueued_at: Dict[Context, float] = {}
         #: observers notified when a vGPU becomes idle with no waiters
         #: (the migration manager hooks in here).
         self.idle_hooks: List[Callable[[VirtualGPU], None]] = []
@@ -69,6 +80,7 @@ class Scheduler:
     def _spawn_vgpus(self, device: GPUDevice) -> Generator:
         for index in range(self.config.vgpus_per_device):
             vgpu = VirtualGPU(self.env, self.driver, device, index)
+            vgpu.obs = self.obs
             yield from vgpu.start()
             self.vgpus.append(vgpu)
 
@@ -155,15 +167,19 @@ class Scheduler:
             return
         idle = self._satisfying_idle(ctx, self.idle_vgpus())
         if idle and not self._waiting:
+            self._queue_wait.observe(0.0)
             self._bind(ctx, self._choose_vgpu(ctx, idle))
             return
         ctx.state = ContextState.WAITING
         ev = Event(self.env)
         self._waiting_events[ctx] = ev
+        self._enqueued_at[ctx] = self.env.now
         if front:
             self._waiting.insert(0, ctx)
         else:
             self._waiting.append(ctx)
+        if self.obs.enabled:
+            self.obs.queue_depth("waiting_contexts", len(self._waiting))
         self.waiting_added.notify_all()
         # A vGPU may be idle while waiters exist (policy reordering);
         # try a grant round before blocking.
@@ -176,7 +192,7 @@ class Scheduler:
         vgpu = ctx.vgpu
         if vgpu is None:
             return
-        vgpu.unbind(ctx)
+        vgpu.unbind(ctx, reason)
         if ctx.state is ContextState.ASSIGNED:
             ctx.state = ContextState.PENDING
         self.stats.unbindings += 1
@@ -190,6 +206,9 @@ class Scheduler:
         if ctx in self._waiting:
             self._waiting.remove(ctx)
             self._waiting_events.pop(ctx, None)
+            self._enqueued_at.pop(ctx, None)
+            if self.obs.enabled:
+                self.obs.queue_depth("waiting_contexts", len(self._waiting))
 
     # ------------------------------------------------------------------
     def _choose_vgpu(self, ctx: Context, idle: List[VirtualGPU]) -> VirtualGPU:
@@ -220,6 +239,10 @@ class Scheduler:
                 if usable:
                     self._waiting.remove(ctx)
                     ev = self._waiting_events.pop(ctx)
+                    enqueued = self._enqueued_at.pop(ctx, self.env.now)
+                    self._queue_wait.observe(self.env.now - enqueued)
+                    if self.obs.enabled:
+                        self.obs.queue_depth("waiting_contexts", len(self._waiting))
                     self._bind(ctx, self._choose_vgpu(ctx, usable))
                     ev.succeed()
                     granted = True

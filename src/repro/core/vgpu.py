@@ -45,6 +45,10 @@ class VirtualGPU:
         self.total_bound_seconds = 0.0
         self._bound_at: Optional[float] = None
         self.retired = False
+        #: Tracing bus (repro.obs), injected by the scheduler at spawn so
+        #: every bind/unbind — scheduler grant, migration, recovery — is
+        #: observed at this single choke point.
+        self.obs = None
 
     # ------------------------------------------------------------------
     def start(self) -> Generator:
@@ -77,10 +81,14 @@ class VirtualGPU:
         self.bound_context = ctx
         self._bound_at = self.env.now
         ctx.vgpu = self
+        if self.obs is not None and self.obs.enabled:
+            self.obs.bind(ctx, self)
 
-    def unbind(self, ctx: "Context") -> None:
+    def unbind(self, ctx: "Context", reason: str = "") -> None:
         if self.bound_context is not ctx:
             raise RuntimeError(f"{self.name} does not serve {ctx!r}")
+        if self.obs is not None and self.obs.enabled:
+            self.obs.unbind(ctx, self, reason)
         self.bound_context = None
         if self._bound_at is not None:
             self.total_bound_seconds += self.env.now - self._bound_at

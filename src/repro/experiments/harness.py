@@ -19,6 +19,7 @@ from repro.cluster.node import ComputeNode
 from repro.cluster.torque import Torque, TorqueMode
 from repro.core.config import RuntimeConfig
 from repro.core.stats import RuntimeStats
+from repro.obs import ObsCollector
 from repro.sim import Environment
 from repro.simcuda.device import GPUSpec
 
@@ -82,15 +83,20 @@ def run_node_batch(
     config: Optional[RuntimeConfig],
     label: str = "",
     cpu_threads: int = 16,
+    collector: Optional[ObsCollector] = None,
 ) -> BatchResult:
     """Run ``jobs`` concurrently on a single node.
 
     ``config=None`` runs on the bare CUDA runtime (the baseline);
     otherwise the node boots the paper's runtime with ``config``.
+    Passing an :class:`ObsCollector` enables tracing on the node's
+    runtime and leaves the collector holding the run's events/metrics.
     """
     env = Environment()
     node = ComputeNode(env, "node0", gpu_specs, cpu_threads=cpu_threads,
                        runtime_config=config)
+    if collector is not None and node.runtime is not None:
+        collector.attach(node.runtime)
     env.process(node.start())
     env.run(until=BOOT_GRACE_SECONDS)
 
@@ -142,6 +148,7 @@ def run_arrival_process(
     horizon_s: float,
     label: str = "",
     cpu_threads: int = 16,
+    collector: Optional[ObsCollector] = None,
 ) -> BatchResult:
     """Open-loop experiment: jobs arrive as a Poisson process.
 
@@ -157,6 +164,8 @@ def run_arrival_process(
     env = Environment()
     node = ComputeNode(env, "node0", gpu_specs, cpu_threads=cpu_threads,
                        runtime_config=config)
+    if collector is not None and node.runtime is not None:
+        collector.attach(node.runtime)
     env.process(node.start())
     env.run(until=BOOT_GRACE_SECONDS)
 
@@ -221,6 +230,7 @@ def run_cluster_batch(
     mode: TorqueMode = TorqueMode.OBLIVIOUS,
     label: str = "",
     cpu_threads: int = 16,
+    collector: Optional[ObsCollector] = None,
 ) -> BatchResult:
     """Run ``jobs`` through TORQUE on a multi-node cluster.
 
@@ -235,6 +245,10 @@ def run_cluster_batch(
                          runtime_config=config)
     if config is not None and config.offload_enabled:
         cluster.peer_runtimes()
+    if collector is not None:
+        for cluster_node in cluster.nodes:
+            if cluster_node.runtime is not None:
+                collector.attach(cluster_node.runtime)
     env.process(cluster.start())
     env.run(until=BOOT_GRACE_SECONDS)
 

@@ -75,6 +75,10 @@ class Channel:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.closed = False
+        #: Optional observability hook: ``fn(action, nbytes, pending)``
+        #: with action "send" (transmission complete) or "deliver"
+        #: (message reached the inbox).  Costs nothing while unset.
+        self.on_activity = None
 
     def send(self, payload: Any, nbytes: int = 0) -> Generator:
         """Transmit ``payload``; completes when the link is released.
@@ -92,6 +96,8 @@ class Channel:
             yield self.env.timeout(self.link.transmit_seconds(nbytes))
             self.messages_sent += 1
             self.bytes_sent += nbytes
+            if self.on_activity is not None:
+                self.on_activity("send", nbytes, self.pending)
             self.env.process(self._deliver(payload))
         finally:
             self._tx_free.succeed()
@@ -99,6 +105,8 @@ class Channel:
     def _deliver(self, payload: Any) -> Generator:
         yield self.env.timeout(self.link.latency_s)
         self._inbox.put(payload)
+        if self.on_activity is not None:
+            self.on_activity("deliver", 0, self.pending)
 
     def recv(self):
         """Event yielding the next message (blocks while empty)."""

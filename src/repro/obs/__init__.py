@@ -1,0 +1,83 @@
+"""Observability: structured tracing and metrics for the runtime.
+
+Three layers (see ``docs/observability.md``):
+
+- :mod:`repro.obs.events` — a zero-dependency structured event bus keyed
+  on the simulation clock (:class:`Tracer` + typed events);
+- :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  in a :class:`MetricsRegistry` that wraps ``RuntimeStats``;
+- :mod:`repro.obs.export` — Chrome trace-event JSON (one process per
+  device, one thread per vGPU), Prometheus text, and JSON-lines dumps.
+
+:class:`ObsCollector` ties them together for one experiment run.
+"""
+
+from repro.obs.events import (
+    Bind,
+    CallBegin,
+    CallEnd,
+    CheckpointTaken,
+    EVENT_TYPES,
+    FailureRecovered,
+    Migration,
+    Offload,
+    QueueDepthChanged,
+    SwapIn,
+    SwapOut,
+    Tracer,
+    Unbind,
+    event_to_dict,
+)
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    QUEUE_WAIT_BUCKETS_S,
+)
+from repro.obs.export import (
+    chrome_trace,
+    json_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_json_lines,
+    write_prometheus,
+)
+from repro.obs.collector import ObsCollector
+
+__all__ = [
+    # events
+    "Bind",
+    "CallBegin",
+    "CallEnd",
+    "CheckpointTaken",
+    "EVENT_TYPES",
+    "FailureRecovered",
+    "Migration",
+    "Offload",
+    "QueueDepthChanged",
+    "SwapIn",
+    "SwapOut",
+    "Tracer",
+    "Unbind",
+    "event_to_dict",
+    # metrics
+    "BYTES_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "QUEUE_WAIT_BUCKETS_S",
+    # export
+    "chrome_trace",
+    "json_lines",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_json_lines",
+    "write_prometheus",
+    # collector
+    "ObsCollector",
+]

@@ -1,0 +1,72 @@
+"""Run-scoped collection: attach tracing to runtimes, export afterwards.
+
+The experiment harness creates one :class:`ObsCollector` per batch run
+(when asked to) and attaches it to every node runtime before jobs start;
+any figure driver can then dump a Chrome trace / metrics file for the
+run it just measured without touching runtime internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, TYPE_CHECKING
+
+from repro.obs.export import (
+    chrome_trace,
+    json_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_json_lines,
+    write_prometheus,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import NodeRuntime
+
+__all__ = ["ObsCollector"]
+
+
+class ObsCollector:
+    """Aggregates the tracers and metric registries of attached runtimes."""
+
+    def __init__(self) -> None:
+        self.runtimes: List["NodeRuntime"] = []
+
+    def attach(self, runtime: "NodeRuntime") -> None:
+        """Enable tracing on ``runtime`` and adopt its event/metric state."""
+        if runtime in self.runtimes:
+            return
+        runtime.obs.enabled = True
+        self.runtimes.append(runtime)
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Any]:
+        """All attached runtimes' events, merged in clock order."""
+        merged: List[Any] = []
+        for runtime in self.runtimes:
+            merged.extend(runtime.obs.events)
+        merged.sort(key=lambda e: e.at)
+        return merged
+
+    def chrome_trace(self) -> dict:
+        return chrome_trace(self.events)
+
+    def prometheus_text(self) -> str:
+        return prometheus_text(*[r.metrics for r in self.runtimes])
+
+    def json_lines(self) -> str:
+        return json_lines(self.events)
+
+    # ------------------------------------------------------------------
+    def write_trace(self, path: str) -> None:
+        write_chrome_trace(path, self.events)
+
+    def write_metrics(self, path: str) -> None:
+        write_prometheus(path, *[r.metrics for r in self.runtimes])
+
+    def write_events(self, path: str) -> None:
+        write_json_lines(path, self.events)
+
+    def __repr__(self) -> str:
+        n_events = sum(len(r.obs.events) for r in self.runtimes)
+        return f"<ObsCollector runtimes={len(self.runtimes)} events={n_events}>"

@@ -1,0 +1,407 @@
+"""Structured event bus keyed on the simulation clock.
+
+The paper's dispatcher "may expose some information to the cluster-level
+scheduler" (§2); this module generalizes that introspection surface into
+a zero-dependency tracing bus.  Components emit *typed events* — call
+spans, swap traffic, binding changes, migrations, offloads, checkpoints,
+recoveries, queue depths — through a :class:`Tracer` owned by the node
+runtime.  When tracing is disabled (the default) every emission helper
+returns before constructing an event, so the hot paths pay one attribute
+check and nothing else; simulated time is never affected either way.
+
+Events are plain frozen dataclasses so exporters (:mod:`repro.obs.export`)
+can serialize them without reflection surprises, and tests can assert on
+them structurally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CallBegin",
+    "CallEnd",
+    "SwapOut",
+    "SwapIn",
+    "Bind",
+    "Unbind",
+    "Migration",
+    "Offload",
+    "CheckpointTaken",
+    "FailureRecovered",
+    "QueueDepthChanged",
+    "EVENT_TYPES",
+    "Tracer",
+    "event_to_dict",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CallBegin:
+    """An intercepted call entered the dispatcher."""
+
+    kind: ClassVar[str] = "CallBegin"
+    at: float
+    context: str
+    method: str
+    device_id: Optional[int] = None
+    vgpu: Optional[str] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class CallEnd:
+    """The call completed.  Carries its own begin time and duration so a
+    span can be reconstructed from this event alone (binding may have
+    happened mid-call, so the vGPU here is the one that served it)."""
+
+    kind: ClassVar[str] = "CallEnd"
+    at: float
+    context: str
+    method: str
+    begin_at: float = 0.0
+    duration: float = 0.0
+    device_id: Optional[int] = None
+    vgpu: Optional[str] = None
+    error: Optional[str] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class SwapOut:
+    """One page-table entry written back / released from device memory."""
+
+    kind: ClassVar[str] = "SwapOut"
+    at: float
+    context: str
+    nbytes: int
+    device_id: Optional[int] = None
+    vgpu: Optional[str] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class SwapIn:
+    """A deferred/bulk host→device transfer faulted data back in."""
+
+    kind: ClassVar[str] = "SwapIn"
+    at: float
+    context: str
+    nbytes: int
+    device_id: Optional[int] = None
+    vgpu: Optional[str] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Bind:
+    """A context was granted a vGPU."""
+
+    kind: ClassVar[str] = "Bind"
+    at: float
+    context: str
+    vgpu: str
+    device_id: Optional[int] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Unbind:
+    """A context released (or was evicted from) its vGPU."""
+
+    kind: ClassVar[str] = "Unbind"
+    at: float
+    context: str
+    vgpu: str
+    device_id: Optional[int] = None
+    reason: str = ""
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Migration:
+    """Dynamic binding moved a job between devices (§5.3.4)."""
+
+    kind: ClassVar[str] = "Migration"
+    at: float
+    context: str
+    src_device: Optional[int] = None
+    dst_device: Optional[int] = None
+    p2p: bool = False
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Offload:
+    """A pending connection was redirected to a peer node (§4.7)."""
+
+    kind: ClassVar[str] = "Offload"
+    at: float
+    context: str
+    dst_node: str = ""
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointTaken:
+    """Dirty device state was written back to the swap area (§4.6)."""
+
+    kind: ClassVar[str] = "CheckpointTaken"
+    at: float
+    context: str
+    nbytes: int = 0
+    device_id: Optional[int] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureRecovered:
+    """A failed context was rebound and its journal replayed (§4.6)."""
+
+    kind: ClassVar[str] = "FailureRecovered"
+    at: float
+    context: str
+    replayed_kernels: int = 0
+    device_id: Optional[int] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueDepthChanged:
+    """A runtime queue (waiting contexts, pending connections, socket
+    inbox) changed depth."""
+
+    kind: ClassVar[str] = "QueueDepthChanged"
+    at: float
+    queue: str
+    depth: int
+    node: str = ""
+
+
+EVENT_TYPES: Tuple[type, ...] = (
+    CallBegin,
+    CallEnd,
+    SwapOut,
+    SwapIn,
+    Bind,
+    Unbind,
+    Migration,
+    Offload,
+    CheckpointTaken,
+    FailureRecovered,
+    QueueDepthChanged,
+)
+
+
+def event_to_dict(event: Any) -> Dict[str, Any]:
+    """A JSON-ready dict with the event's ``kind`` folded in."""
+    d = dataclasses.asdict(event)
+    d["kind"] = event.kind
+    return d
+
+
+def _ctx_location(ctx) -> Tuple[Optional[int], Optional[str]]:
+    """(device_id, vgpu name) of a runtime context, or (None, None)."""
+    vgpu = getattr(ctx, "vgpu", None)
+    if vgpu is None:
+        return None, None
+    return vgpu.device.device_id, vgpu.name
+
+
+class Tracer:
+    """Per-runtime event sink.
+
+    ``enabled`` gates everything: the emission helpers below return
+    immediately when it is False, so instrumented hot paths cost one
+    attribute load.  Subscribers (live consumers such as a streaming
+    exporter) are called synchronously with each event.
+    """
+
+    __slots__ = ("env", "enabled", "node", "events", "subscribers")
+
+    def __init__(self, env, enabled: bool = False, node: str = ""):
+        self.env = env
+        self.enabled = enabled
+        self.node = node
+        self.events: List[Any] = []
+        self.subscribers: List[Callable[[Any], None]] = []
+
+    # ------------------------------------------------------------------
+    def emit(self, event: Any) -> None:
+        """Record one already-constructed event (no enabled check: the
+        helpers below guard before construction)."""
+        self.events.append(event)
+        for fn in self.subscribers:
+            fn(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def events_of(self, *kinds: type) -> List[Any]:
+        return [e for e in self.events if isinstance(e, kinds)]
+
+    # ------------------------------------------------------------------
+    # emission helpers (each is a no-op while disabled)
+    # ------------------------------------------------------------------
+    def call_begin(self, ctx, method) -> Optional[float]:
+        if not self.enabled:
+            return None
+        at = self.env.now
+        device_id, vgpu = _ctx_location(ctx)
+        self.emit(
+            CallBegin(
+                at=at,
+                context=ctx.owner,
+                method=getattr(method, "value", str(method)),
+                device_id=device_id,
+                vgpu=vgpu,
+                node=self.node,
+            )
+        )
+        return at
+
+    def call_end(
+        self, ctx, method, begin_at: Optional[float], error: Optional[str] = None
+    ) -> None:
+        if not self.enabled or begin_at is None:
+            return
+        at = self.env.now
+        device_id, vgpu = _ctx_location(ctx)
+        self.emit(
+            CallEnd(
+                at=at,
+                context=ctx.owner,
+                method=getattr(method, "value", str(method)),
+                begin_at=begin_at,
+                duration=at - begin_at,
+                device_id=device_id,
+                vgpu=vgpu,
+                error=error,
+                node=self.node,
+            )
+        )
+
+    def swap_out(self, ctx, nbytes: int) -> None:
+        if not self.enabled:
+            return
+        device_id, vgpu = _ctx_location(ctx)
+        self.emit(
+            SwapOut(
+                at=self.env.now,
+                context=ctx.owner,
+                nbytes=nbytes,
+                device_id=device_id,
+                vgpu=vgpu,
+                node=self.node,
+            )
+        )
+
+    def swap_in(self, ctx, nbytes: int) -> None:
+        if not self.enabled:
+            return
+        device_id, vgpu = _ctx_location(ctx)
+        self.emit(
+            SwapIn(
+                at=self.env.now,
+                context=ctx.owner,
+                nbytes=nbytes,
+                device_id=device_id,
+                vgpu=vgpu,
+                node=self.node,
+            )
+        )
+
+    def bind(self, ctx, vgpu) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            Bind(
+                at=self.env.now,
+                context=ctx.owner,
+                vgpu=vgpu.name,
+                device_id=vgpu.device.device_id,
+                node=self.node,
+            )
+        )
+
+    def unbind(self, ctx, vgpu, reason: str = "") -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            Unbind(
+                at=self.env.now,
+                context=ctx.owner,
+                vgpu=vgpu.name,
+                device_id=vgpu.device.device_id,
+                reason=reason,
+                node=self.node,
+            )
+        )
+
+    def migration(self, ctx, src_device, dst_device, p2p: bool = False) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            Migration(
+                at=self.env.now,
+                context=ctx.owner,
+                src_device=src_device.device_id if src_device is not None else None,
+                dst_device=dst_device.device_id if dst_device is not None else None,
+                p2p=p2p,
+                node=self.node,
+            )
+        )
+
+    def offload(self, connection_name: str, dst_node: str) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            Offload(
+                at=self.env.now,
+                context=connection_name,
+                dst_node=dst_node,
+                node=self.node,
+            )
+        )
+
+    def checkpoint(self, ctx, nbytes: int) -> None:
+        if not self.enabled:
+            return
+        device_id, _vgpu = _ctx_location(ctx)
+        self.emit(
+            CheckpointTaken(
+                at=self.env.now,
+                context=ctx.owner,
+                nbytes=nbytes,
+                device_id=device_id,
+                node=self.node,
+            )
+        )
+
+    def failure_recovered(self, ctx, replayed_kernels: int) -> None:
+        if not self.enabled:
+            return
+        device_id, _vgpu = _ctx_location(ctx)
+        self.emit(
+            FailureRecovered(
+                at=self.env.now,
+                context=ctx.owner,
+                replayed_kernels=replayed_kernels,
+                device_id=device_id,
+                node=self.node,
+            )
+        )
+
+    def queue_depth(self, queue: str, depth: int) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            QueueDepthChanged(
+                at=self.env.now, queue=queue, depth=depth, node=self.node
+            )
+        )
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {self.node or 'anonymous'} {state} events={len(self.events)}>"

@@ -2,6 +2,7 @@
 
 from repro.cluster import Cluster, Torque, TorqueMode
 from repro.core import RuntimeConfig
+from repro.core.monitor import node_report
 from repro.sim import Environment
 from repro.simcuda import TESLA_C1060, TESLA_C2050
 from repro.workloads import make_job, workload
@@ -43,3 +44,23 @@ def test_gpu_aware_all_jobs_complete():
     torque, _ = run_mode(TorqueMode.GPU_AWARE, n_jobs=8)
     assert len(torque.outcomes) == 8
     assert torque.average_turnaround > 0
+
+
+def test_node_report_exposes_metrics_to_scheduler():
+    """The placement feed: node_report carries the registry snapshot."""
+    _, cluster = run_mode(TorqueMode.GPU_AWARE, n_jobs=8)
+    big = cluster.nodes[0]
+    report = node_report(big.runtime)
+    metrics = report["metrics"]
+    # RuntimeStats counters folded in under the runtime_ prefix...
+    assert metrics["runtime_connections_accepted"] == (
+        big.runtime.stats.connections_accepted
+    )
+    assert metrics["runtime_calls_served"] > 0
+    # ...histograms as {count, sum, buckets} sub-dicts...
+    latency = metrics["call_latency_seconds"]
+    assert latency["count"] == metrics["runtime_calls_served"]
+    assert latency["sum"] > 0
+    # ...and live gauges consistent with the flat report fields.
+    assert metrics["vgpus_total"] == report["vgpus_total"]
+    assert metrics["load_per_vgpu"] == report["load_per_vgpu"]

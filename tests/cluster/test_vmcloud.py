@@ -176,6 +176,31 @@ def test_stopped_vm_rejects_use():
     assert p.value
 
 
+def test_cloud_node_reports():
+    """The cloud manager's monitoring view: per-node runtime report plus
+    VM occupancy, sharing node_report's schema."""
+    env, nodes, cloud = build_cloud(n_nodes=2, cpu_threads=4)
+    results = {}
+
+    def scenario():
+        vm1 = yield from cloud.launch_vm(VMSpec("vm1", vcpus=3))
+        yield from cloud.launch_vm(VMSpec("vm2", vcpus=3))
+        results["t"] = yield from guest_app(env, vm1, "app0")
+
+    env.process(scenario())
+    env.run()
+    reports = cloud.node_reports()
+    assert set(reports) == {"host0", "host1"}
+    host0 = reports["host0"]
+    assert host0["vms"] == 1
+    assert host0["vcpus_committed"] == 3
+    assert host0["gpus"] == 1
+    # The metrics sub-dict reflects the guest app's runtime activity.
+    assert host0["metrics"]["runtime_connections_accepted"] == 1
+    assert host0["metrics"]["runtime_calls_served"] > 0
+    assert reports["host1"]["metrics"]["runtime_connections_accepted"] == 0
+
+
 def test_vmspec_validation():
     with pytest.raises(ValueError):
         VMSpec("bad", vcpus=0)

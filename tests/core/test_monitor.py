@@ -65,6 +65,63 @@ def test_monitor_period_validation():
         monitor.start(period=0)
 
 
+def test_mean_utilization_is_time_weighted():
+    """Samples weigh by the interval they cover: a dense burst of samples
+    around a busy window must not inflate the mean over a long idle tail."""
+    h = Harness()
+    monitor = RuntimeMonitor(h.runtime)
+    h.spawn(h.simple_app("busy", kernel_seconds=2.0))
+
+    def sampler():
+        yield h.env.timeout(3.0)
+        monitor.take_sample()  # short window containing the kernel burst
+        yield h.env.timeout(27.0)
+        monitor.take_sample()  # long idle window
+
+    h.spawn(sampler())
+    h.run()
+    device_id = h.driver.devices[0].device_id
+    s1, s2 = monitor.samples
+    assert s1.interval == pytest.approx(3.0)
+    assert s2.interval == pytest.approx(27.0)
+    assert s1.gpu_utilization[device_id] > s2.gpu_utilization[device_id]
+    expected = (
+        s1.gpu_utilization[device_id] * s1.interval
+        + s2.gpu_utilization[device_id] * s2.interval
+    ) / (s1.interval + s2.interval)
+    unweighted = (
+        s1.gpu_utilization[device_id] + s2.gpu_utilization[device_id]
+    ) / 2
+    assert monitor.mean_utilization(device_id) == pytest.approx(expected)
+    assert monitor.mean_utilization(device_id) < unweighted
+
+
+def test_stop_takes_no_final_sample():
+    """stop() mid-period must not record one more sample on wake-up."""
+    h = Harness()
+    monitor = RuntimeMonitor(h.runtime)
+    monitor.start(period=1.0)
+
+    def stopper():
+        yield h.env.timeout(2.5)
+        monitor.stop()
+
+    h.spawn(stopper())
+    h.run()
+    assert [s.at for s in monitor.samples] == [1.0, 2.0]
+
+
+def test_start_while_running_raises():
+    h = Harness()
+    monitor = RuntimeMonitor(h.runtime)
+    monitor.start(period=1.0, horizon=5.0)
+    with pytest.raises(RuntimeError):
+        monitor.start(period=1.0)
+    h.run()  # sampler retires at its horizon...
+    monitor.start(period=1.0, horizon=1.0)  # ...after which restart is fine
+    h.run()
+
+
 def test_take_sample_on_demand():
     h = Harness()
     h.run(until=1.0)

@@ -1,0 +1,112 @@
+"""Tracer and typed-event semantics."""
+
+from types import SimpleNamespace
+
+from repro.obs import (
+    Bind,
+    CallBegin,
+    CallEnd,
+    EVENT_TYPES,
+    QueueDepthChanged,
+    SwapOut,
+    Tracer,
+    event_to_dict,
+)
+from repro.sim import Environment
+
+
+def ctx(owner="app0", vgpu=None):
+    return SimpleNamespace(owner=owner, vgpu=vgpu)
+
+
+def vgpu(name="vGPU0-1", device_id=0):
+    return SimpleNamespace(name=name, device=SimpleNamespace(device_id=device_id))
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(Environment())
+    assert not tracer.enabled
+    assert tracer.call_begin(ctx(), "launch_kernel") is None
+    tracer.call_end(ctx(), "launch_kernel", begin_at=None)
+    tracer.swap_out(ctx(), 1024)
+    tracer.swap_in(ctx(), 1024)
+    tracer.bind(ctx(), vgpu())
+    tracer.unbind(ctx(), vgpu())
+    tracer.queue_depth("waiting_contexts", 3)
+    tracer.offload("conn", "node1")
+    tracer.checkpoint(ctx(), 64)
+    tracer.failure_recovered(ctx(), replayed_kernels=2)
+    assert tracer.events == []
+
+
+def test_call_span_emission():
+    env = Environment()
+    tracer = Tracer(env, enabled=True, node="n0")
+    v = vgpu()
+    begin_at = tracer.call_begin(ctx(vgpu=v), "launch_kernel")
+    assert begin_at == env.now
+    tracer.call_end(ctx(vgpu=v), "launch_kernel", begin_at)
+    begin, end = tracer.events
+    assert isinstance(begin, CallBegin) and isinstance(end, CallEnd)
+    assert begin.method == end.method == "launch_kernel"
+    assert begin.vgpu == end.vgpu == "vGPU0-1"
+    assert end.begin_at == begin_at
+    assert end.duration == end.at - begin_at
+    assert end.error is None
+    assert end.node == "n0"
+
+
+def test_call_end_without_begin_is_noop():
+    """A span started while disabled must not produce a dangling end."""
+    tracer = Tracer(Environment(), enabled=True)
+    tracer.call_end(ctx(), "launch_kernel", begin_at=None)
+    assert tracer.events == []
+
+
+def test_unbound_context_has_no_location():
+    tracer = Tracer(Environment(), enabled=True)
+    tracer.swap_out(ctx(vgpu=None), 4096)
+    (event,) = tracer.events
+    assert isinstance(event, SwapOut)
+    assert event.device_id is None and event.vgpu is None
+    assert event.nbytes == 4096
+
+
+def test_events_of_and_clear():
+    tracer = Tracer(Environment(), enabled=True)
+    tracer.bind(ctx(), vgpu())
+    tracer.queue_depth("waiting_contexts", 1)
+    tracer.queue_depth("waiting_contexts", 0)
+    assert len(tracer.events_of(Bind)) == 1
+    assert len(tracer.events_of(QueueDepthChanged)) == 2
+    assert len(tracer.events_of(Bind, QueueDepthChanged)) == 3
+    tracer.clear()
+    assert tracer.events == []
+
+
+def test_subscribers_see_events_synchronously():
+    tracer = Tracer(Environment(), enabled=True)
+    seen = []
+    tracer.subscribers.append(seen.append)
+    tracer.queue_depth("pending_connections", 2)
+    assert len(seen) == 1
+    assert seen[0] is tracer.events[0]
+
+
+def test_event_to_dict_folds_kind_in():
+    for cls in EVENT_TYPES:
+        assert isinstance(cls.kind, str)
+    tracer = Tracer(Environment(), enabled=True, node="n0")
+    tracer.queue_depth("q", 5)
+    d = event_to_dict(tracer.events[0])
+    assert d == {"kind": "QueueDepthChanged", "at": 0.0, "queue": "q",
+                 "depth": 5, "node": "n0"}
+
+
+def test_method_enum_is_stringified():
+    from repro.core.protocol import CallType
+
+    tracer = Tracer(Environment(), enabled=True)
+    begin_at = tracer.call_begin(ctx(), CallType.LAUNCH)
+    tracer.call_end(ctx(), CallType.LAUNCH, begin_at)
+    assert all(e.method == CallType.LAUNCH.value for e in tracer.events)

@@ -1,0 +1,73 @@
+"""Tracing must never perturb simulated time.
+
+The instrumentation emits events from the host side of the simulation;
+it costs wall-clock only.  These tests pin that down: the same batch run
+with tracing off and with tracing on reports *identical* simulated
+times, and a default (tracing-off) runtime records zero events.
+"""
+
+from repro.cli import _parse_jobs
+from repro.core.config import RuntimeConfig
+from repro.experiments.harness import run_node_batch
+from repro.obs import ObsCollector
+from repro.simcuda.device import TESLA_C2050
+from repro.workloads import make_job
+from repro.workloads.catalog import SHORT_RUNNING
+
+from tests.core.conftest import Harness
+
+
+def short_jobs(n=8):
+    """A fig5-sized batch: n short-running jobs on one C2050."""
+    return [
+        make_job(spec, name=f"{spec.tag}#{i}", use_runtime=True)
+        for i, spec in enumerate(SHORT_RUNNING[:n])
+    ]
+
+
+def test_fig5_sized_run_times_unchanged_by_tracing():
+    off = run_node_batch(
+        short_jobs(), [TESLA_C2050],
+        RuntimeConfig(vgpus_per_device=4), label="off",
+    )
+    collector = ObsCollector()
+    on = run_node_batch(
+        short_jobs(), [TESLA_C2050],
+        RuntimeConfig(vgpus_per_device=4, tracing=True), label="on",
+        collector=collector,
+    )
+    assert on.total_time == off.total_time
+    assert sorted(on.job_times) == sorted(off.job_times)
+    assert on.stats == off.stats
+    assert collector.events  # the traced run did record something
+
+
+def test_cli_default_mix_times_unchanged_by_tracing():
+    """The acceptance run (`repro-sim run --vgpus 4 --jobs 8`) with and
+    without tracing: identical simulated total time."""
+    def run(tracing):
+        collector = ObsCollector() if tracing else None
+        result = run_node_batch(
+            _parse_jobs(["8"], 0.0), [TESLA_C2050],
+            RuntimeConfig(vgpus_per_device=4, tracing=tracing),
+            collector=collector,
+        )
+        return result, collector
+
+    off, _ = run(False)
+    on, collector = run(True)
+    assert on.total_time == off.total_time
+    assert sorted(on.job_times) == sorted(off.job_times)
+    assert collector.events
+
+
+def test_disabled_runtime_records_no_events():
+    h = Harness()
+    assert h.runtime.obs.enabled is False
+    h.spawn(h.simple_app("app", kernel_seconds=0.5))
+    h.run()
+    assert h.runtime.obs.events == []
+    # metrics stay live even without tracing (pull-based, host-side only)
+    snap = h.runtime.metrics.snapshot()
+    assert snap["runtime_calls_served"] > 0
+    assert snap["call_latency_seconds"]["count"] > 0
