@@ -1,0 +1,167 @@
+"""Overlap engine: stream-pipelined transfers vs plain deferral (§4.5).
+
+The paper's second runtime configuration — "overlap computation and
+communication" — routes bulk transfers and swap write-backs through
+per-vGPU copy streams and prefetches the predicted next-launch working
+set during CPU phases.  On the update-heavy multi-tenant pattern (host
+updates + kernels interleaved with CPU code, automatic checkpoints after
+every kernel) the copies hide under the CPU phases and under other
+tenants' kernels, so the batch finishes strictly earlier than with
+synchronous deferred transfers.
+
+Writes ``BENCH_overlap.json`` with both makespans next to the engine
+overlap achieved, and checks the Chrome trace really contains concurrent
+copy-engine and exec-engine spans on one device.
+"""
+
+import json
+
+from repro.cluster.jobs import Job
+from repro.core import RuntimeConfig
+from repro.core.frontend import Frontend
+from repro.experiments.harness import run_node_batch
+from repro.experiments.report import format_table
+from repro.obs import EngineSpan, ObsCollector
+from repro.simcuda import TESLA_C2050
+from repro.simcuda.fatbin import FatBinary
+from repro.simcuda.kernels import KernelDescriptor
+
+MIB = 1024**2
+ROUNDS = 8
+BUFFER_MIB = 512
+KERNEL_SECONDS = 0.3
+CPU_PHASE_S = 0.4
+N_TENANTS = 3
+
+
+def make_pipelined_job(name):
+    """Each round: host update → CPU phase → kernel → CPU phase.
+
+    The kernel dirties the buffer, and ``checkpoint_kernel_seconds=0``
+    checkpoints after every kernel — so every round moves the buffer in
+    both directions, the traffic the overlap engine can hide.
+    """
+
+    def body(node):
+        fe = Frontend(node.env, node.runtime.listener, name=name)
+        yield from fe.open()
+        k = KernelDescriptor(
+            name="round", flops=KERNEL_SECONDS * TESLA_C2050.effective_gflops * 1e9
+        )
+        fb = FatBinary()
+        handle = yield from fe.register_fat_binary(fb)
+        yield from fe.register_function(handle, k)
+        buf = yield from fe.cuda_malloc(BUFFER_MIB * MIB)
+        for _ in range(ROUNDS):
+            yield from fe.cuda_memcpy_h2d(buf, BUFFER_MIB * MIB)
+            yield from node.cpu_phase(CPU_PHASE_S)
+            yield from fe.launch_kernel(k, [buf])
+            yield from node.cpu_phase(CPU_PHASE_S)
+        yield from fe.cuda_memcpy_d2h(buf, BUFFER_MIB * MIB)
+        yield from fe.cuda_free(buf)
+        yield from fe.cuda_thread_exit()
+
+    return Job(name, body, tag="OVL")
+
+
+def run(overlap: bool, collector=None):
+    config = RuntimeConfig(
+        vgpus_per_device=N_TENANTS,
+        checkpoint_kernel_seconds=0.0,
+        tracing=collector is not None,
+    )
+    if overlap:
+        config = config.overlapped()
+    jobs = [make_pipelined_job(f"ovl{i}") for i in range(N_TENANTS)]
+    return run_node_batch(jobs, [TESLA_C2050], config, collector=collector)
+
+
+def _spans_overlap(spans):
+    """True if any copy span and exec span intersect on one device."""
+    copies = [s for s in spans if s.engine == "copy"]
+    execs = [s for s in spans if s.engine == "exec"]
+    for c in copies:
+        for e in execs:
+            if c.device_id == e.device_id and (
+                c.begin_at < e.begin_at + e.duration
+                and e.begin_at < c.begin_at + c.duration
+            ):
+                return True
+    return False
+
+
+def test_overlap_engine_beats_deferred(once):
+    def experiment():
+        deferred = run(overlap=False)
+        collector = ObsCollector()
+        overlapped = run(overlap=True, collector=collector)
+        spans = [e for e in collector.events if isinstance(e, EngineSpan)]
+        return deferred, overlapped, spans
+
+    deferred, overlapped, spans = once(experiment)
+
+    print(
+        "\n== Overlap engine: pipelined transfers vs deferred "
+        f"({N_TENANTS} update-heavy tenants) ==\n"
+        + format_table(
+            ["config", "makespan (s)", "engine overlap (s)",
+             "prefetch hits", "swap out (MiB)"],
+            [
+                [
+                    "deferred (sync)",
+                    f"{deferred.total_time:.1f}",
+                    f"{deferred.total_copy_overlap:.2f}",
+                    str(deferred.stats["prefetch_hits"]),
+                    str(deferred.stats["swap_bytes_out"] // MIB),
+                ],
+                [
+                    "overlap (streams)",
+                    f"{overlapped.total_time:.1f}",
+                    f"{overlapped.total_copy_overlap:.2f}",
+                    str(overlapped.stats["prefetch_hits"]),
+                    str(overlapped.stats["swap_bytes_out"] // MIB),
+                ],
+            ],
+        )
+    )
+
+    assert deferred.errors == overlapped.errors == 0
+    # The tentpole claim: pipelining strictly beats the deferred baseline
+    # on the overlap-friendly pattern.
+    assert overlapped.total_time < deferred.total_time
+    # It does so by actually overlapping: the device's copy and exec
+    # engines ran concurrently, and the trace shows intersecting spans.
+    assert overlapped.total_copy_overlap > 0
+    assert _spans_overlap(spans)
+    # Prefetch converted CPU phases into staged bulk transfers.
+    assert overlapped.stats["prefetch_hits"] > 0
+    # Same logical work in both modes.
+    assert overlapped.stats["kernels_launched"] == deferred.stats["kernels_launched"]
+    assert overlapped.stats["swap_bytes_out"] == deferred.stats["swap_bytes_out"]
+
+    with open("BENCH_overlap.json", "w") as fh:
+        json.dump(
+            {
+                "workload": {
+                    "tenants": N_TENANTS,
+                    "rounds": ROUNDS,
+                    "buffer_mib": BUFFER_MIB,
+                    "kernel_seconds": KERNEL_SECONDS,
+                    "cpu_phase_seconds": CPU_PHASE_S,
+                },
+                "deferred": {
+                    "makespan_s": deferred.total_time,
+                    "copy_exec_overlap_s": deferred.total_copy_overlap,
+                    "prefetch_hits": deferred.stats["prefetch_hits"],
+                },
+                "overlap": {
+                    "makespan_s": overlapped.total_time,
+                    "copy_exec_overlap_s": overlapped.total_copy_overlap,
+                    "prefetch_hits": overlapped.stats["prefetch_hits"],
+                },
+                "speedup": deferred.total_time / overlapped.total_time,
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")

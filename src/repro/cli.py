@@ -143,6 +143,8 @@ def cmd_run(args) -> int:
             migration_enabled=args.migration,
             kernel_consolidation=args.consolidation,
             defer_transfers=not args.eager_transfers,
+            overlap_transfers=args.overlap,
+            prefetch_enabled=args.prefetch,
             tracing=bool(args.trace_out),
         )
     result = run_node_batch(jobs, args.gpus, config, label="cli",
@@ -207,6 +209,12 @@ def main(argv=None) -> int:
     run.add_argument("--consolidation", action="store_true")
     run.add_argument("--eager-transfers", action="store_true",
                      help="disable transfer deferral")
+    run.add_argument("--overlap", action="store_true",
+                     help="pipeline bulk transfers and write-backs through "
+                          "per-vGPU copy streams (overlap engine)")
+    run.add_argument("--prefetch", action="store_true",
+                     help="stage the predicted next-launch working set "
+                          "during CPU phases (needs --overlap)")
     run.add_argument("--trace-out", metavar="FILE",
                      help="write a Chrome trace-event JSON of the run")
     run.add_argument("--metrics-out", metavar="FILE",

@@ -31,6 +31,22 @@ class RuntimeConfig:
         False, transfers are issued immediately once the context is bound
         (computation/communication overlap at the cost of more swap
         traffic).
+    overlap_transfers:
+        The paper's "overlap computation and communication" configuration
+        (§4.5): route the memory manager's device traffic through the
+        vGPU's in-order copy stream.  Bulk H2D transfers at launch are
+        enqueued asynchronously and awaited only right before the kernel
+        needs them; swap/checkpoint write-backs run asynchronously behind
+        an explicit drain barrier, so a D2H can overlap another tenant's
+        kernel on the device's exec engine.  Off by default — the deferred
+        (fully synchronous) path is the paper's headline configuration.
+    prefetch_enabled:
+        Overlap-engine extension: during an application's CPU phase the
+        dispatcher stages the journaled next-launch working set onto the
+        device through the copy stream, so the following launch finds its
+        data resident (a prefetch *hit*) instead of paying the bulk
+        transfer.  Requires ``overlap_transfers`` to be useful; purely
+        speculative — prefetch never evicts and swallows device errors.
     policy:
         Scheduling policy name registered in :mod:`repro.core.policies`
         ("fcfs", "sjf", "credit").
@@ -87,6 +103,8 @@ class RuntimeConfig:
 
     vgpus_per_device: int = 4
     defer_transfers: bool = True
+    overlap_transfers: bool = False
+    prefetch_enabled: bool = False
     policy: str = "fcfs"
     enable_intra_swap: bool = True
     enable_inter_swap: bool = True
@@ -121,3 +139,11 @@ class RuntimeConfig:
     def serialized(self) -> "RuntimeConfig":
         """A copy configured for serialized execution (1 vGPU/device)."""
         return dataclasses.replace(self, vgpus_per_device=1)
+
+    def overlapped(self) -> "RuntimeConfig":
+        """A copy configured for the full overlap engine (§4.5 "overlap
+        computation and communication"): pipelined stream transfers plus
+        CPU-phase prefetch."""
+        return dataclasses.replace(
+            self, overlap_transfers=True, prefetch_enabled=True
+        )

@@ -64,6 +64,11 @@ class Context:
         #: Kernel launches executed since device state was last fully
         #: captured in the swap area; replayed on failure recovery.
         self.replay_journal: List[KernelLaunch] = []
+        #: Virtual pointers of the most recent launch — the overlap
+        #: engine's prediction of the *next* launch's working set (kernels
+        #: overwhelmingly iterate on the same buffers).  Survives journal
+        #: clearing, so prefetch keeps working across checkpoints.
+        self.last_launch_vptrs: tuple = ()
         #: Estimated total GPU seconds (optional profiling hint used by
         #: the SJF policy).
         self.estimated_gpu_seconds: Optional[float] = None

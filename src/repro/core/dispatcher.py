@@ -172,6 +172,48 @@ class Dispatcher:
             # The application is back in a CPU phase: a faster idle GPU
             # may now claim it (dynamic binding, §5.3.4).
             self.runtime.migration.maybe_migrate(ctx)
+            self._maybe_prefetch(ctx)
+
+    # ------------------------------------------------------------------
+    # overlap engine: CPU-phase prefetch (§4.5 "overlap computation and
+    # communication")
+    # ------------------------------------------------------------------
+    def _maybe_prefetch(self, ctx: Context) -> None:
+        """After responding to a call, stage the predicted next-launch
+        working set while the application computes on the CPU."""
+        if (
+            not self.config.prefetch_enabled
+            or not ctx.bound
+            or not ctx.last_launch_vptrs
+        ):
+            return
+        self.env.process(
+            self._prefetch(ctx, ctx.last_launch_vptrs),
+            name=f"prefetch-{ctx.owner}",
+        )
+
+    def _prefetch(self, ctx: Context, vptrs) -> Generator:
+        if ctx.lock.locked:
+            # The next call already arrived; prefetching now would only
+            # delay it.
+            return
+        yield ctx.lock.acquire()
+        try:
+            # Re-check under the lock: the context may have been swapped
+            # out, migrated, failed, or have left its CPU phase.
+            if (
+                ctx.bound
+                and ctx.in_cpu_phase
+                and ctx.state is ContextState.ASSIGNED
+            ):
+                try:
+                    yield from self.memory.prefetch(ctx, vptrs)
+                except CudaRuntimeError:
+                    # Device trouble mid-prefetch is not the application's
+                    # problem; the next real call handles recovery.
+                    pass
+        finally:
+            ctx.lock.release()
 
     # ------------------------------------------------------------------
     # call dispatch
@@ -324,7 +366,8 @@ class Dispatcher:
         ctx.error = exc
         ctx.state = ContextState.FAILED
         ctx.rebind_attempts += 1
-        self.failed_contexts.append(ctx)
+        if ctx not in self.failed_contexts:
+            self.failed_contexts.append(ctx)
         if ctx.vgpu is not None:
             dead_device = ctx.vgpu.device
             ctx.vgpu.unbind(ctx)
@@ -332,13 +375,15 @@ class Dispatcher:
                 self.runtime.note_device_failure(dead_device)
         self.memory.reset_after_failure(ctx)
 
-    def _recover(self, ctx: Context) -> Generator:
-        """Rebind a failed context to a healthy device and replay.
+    def replay_journal(self, ctx: Context) -> Generator:
+        """Replay a context's journaled kernels; returns how many.
 
-        Each journaled kernel is re-executed through the ordinary launch
-        path (re-journaling included), so replay survives memory pressure
-        on the new device — a mid-replay swap-out captures the replayed
-        prefix in the swap area while the suffix stays pending here.
+        The single replay implementation (§4.6): device-failure recovery
+        and full-node restart both run this loop.  Each journaled kernel
+        is re-executed through the ordinary launch path (re-journaling
+        included), so replay survives memory pressure on the new device —
+        a mid-replay swap-out captures the replayed prefix in the swap
+        area while the suffix stays pending here.
         """
         pending = list(ctx.replay_journal)
         ctx.replay_journal.clear()
@@ -368,13 +413,18 @@ class Dispatcher:
                 backoff = min(backoff * 2, self.config.swap_retry_max_backoff_s)
         if not ctx.bound:
             yield from self.scheduler.request_binding(ctx, front=True)
+        return len(pending)
+
+    def _recover(self, ctx: Context) -> Generator:
+        """Rebind a failed context to a healthy device and replay."""
+        replayed = yield from self.replay_journal(ctx)
         ctx.state = ContextState.ASSIGNED
         ctx.error = None
         if ctx in self.failed_contexts:
             self.failed_contexts.remove(ctx)
         self.stats.failures_recovered += 1
         if self.obs.enabled:
-            self.obs.failure_recovered(ctx, replayed_kernels=len(pending))
+            self.obs.failure_recovered(ctx, replayed_kernels=replayed)
 
     # ------------------------------------------------------------------
     def _exit(self, ctx: Context) -> Generator:

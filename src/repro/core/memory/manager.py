@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.sim import Condition, Environment
+from repro.sim import Condition, Environment, Event
 from repro.simcuda.device import GPUDevice
 from repro.simcuda.errors import CudaError, CudaRuntimeError
 from repro.simcuda.kernels import KernelDescriptor, KernelLaunch
@@ -91,6 +91,41 @@ class MemoryManager:
         #: decide whether a too-large working set could fit *some* GPU
         #: (rebind) or none at all (application error).
         self.devices_fn: Callable[[], List[GPUDevice]] = lambda: []
+        #: Wired by the runtime: the dispatcher's journal-replay loop —
+        #: the single replay implementation (§4.6), shared so a full-node
+        #: restart replays with exactly the recovery path's semantics
+        #: (re-journaling, unbind + backoff on memory pressure).
+        self.replay_fn: Optional[Callable[[Context], Generator]] = None
+        #: Overlap engine: per-context barrier events for in-flight
+        #: asynchronous write-backs (checkpoints running behind the call
+        #: path).  Every consumer of the dirty flags drains these first.
+        self._pending_writebacks: Dict[Context, List[Event]] = {}
+
+    # ------------------------------------------------------------------
+    # swap-traffic accounting (one helper per direction, so the stats
+    # counter, the histogram and the trace event can never disagree)
+    # ------------------------------------------------------------------
+    def _account_swap_out(self, ctx: Context, nbytes: int) -> None:
+        """One device→host write-back of authoritative device data."""
+        self.stats.swap_bytes_out += nbytes
+        self._swap_out_bytes.observe(nbytes)
+        if self.obs.enabled:
+            self.obs.swap_out(ctx, nbytes)
+
+    def _account_swap_in(self, ctx: Context, nbytes: int) -> None:
+        """One host→device bulk transfer of authoritative swap data."""
+        self.stats.h2d_device_transfers += 1
+        self.stats.swap_bytes_in += nbytes
+        self._swap_in_bytes.observe(nbytes)
+        if self.obs.enabled:
+            self.obs.swap_in(ctx, nbytes)
+
+    def _drain_writebacks(self, ctx: Context) -> Generator:
+        """Barrier: wait until every in-flight asynchronous write-back of
+        ``ctx`` has landed *and* its bookkeeping has run.  Required before
+        reading dirty flags, freeing device memory, or launching."""
+        while self._pending_writebacks.get(ctx):
+            yield self._pending_writebacks[ctx][0]
 
     # ------------------------------------------------------------------
     # Table 1: Malloc
@@ -155,6 +190,11 @@ class MemoryManager:
                 f"copy of {nbytes} bytes into {pte.size}-byte allocation",
             )
         self.stats.h2d_requests += 1
+        if self.config.overlap_transfers:
+            # An asynchronous write-back may still be reading this entry's
+            # device copy into swap; the host overwrite must order after
+            # it, or the stale write-back would clobber the fresh data.
+            yield from self._drain_writebacks(ctx)
         # Host-side staging into the swap area.
         yield self.env.timeout(self.swap.write_seconds(nbytes))
         pte.on_host_write()
@@ -182,10 +222,15 @@ class MemoryManager:
                 f"read of {nbytes} bytes from {pte.size}-byte allocation",
             )
         self.stats.d2h_requests += 1
+        if self.config.overlap_transfers:
+            # An asynchronous checkpoint may still be writing this data
+            # back; the dirty flags are only meaningful once it lands.
+            yield from self._drain_writebacks(ctx)
         if pte.to_copy_2swap:
             assert ctx.bound, "dirty device data implies a bound context"
             yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
             pte.on_copied_to_swap()
+            self._account_swap_out(ctx, pte.size)
             self._maybe_clear_journal(ctx)
         yield self.env.timeout(self.swap.read_seconds(nbytes))
 
@@ -198,6 +243,9 @@ class MemoryManager:
         except RuntimeApiError:
             self.stats.bad_calls_detected += 1
             raise
+        if self.config.overlap_transfers:
+            # Never free device memory out from under an in-flight D2H.
+            yield from self._drain_writebacks(ctx)
         if pte.is_allocated:
             assert ctx.bound, "resident allocation implies a bound context"
             yield from ctx.vgpu.free(pte.device_ptr)
@@ -239,6 +287,11 @@ class MemoryManager:
         """
         assert ctx.bound, "launch requires a bound context"
         device = ctx.vgpu.device
+        if self.config.overlap_transfers:
+            # Barrier: pending asynchronous write-backs must land before
+            # the dirty flags below are read (and before the kernel can
+            # re-dirty the entries being written back).
+            yield from self._drain_writebacks(ctx)
 
         ptes = self._resolve_launch_entries(ctx, arg_vptrs)
         working_set = sum(p.size for p in ptes)
@@ -261,9 +314,22 @@ class MemoryManager:
                 f"no device offers that much",
             )
 
+        for pte in ptes:
+            if pte.prefetched:
+                pte.prefetched = False
+                if pte.is_allocated and not pte.to_copy_2dev:
+                    # The CPU-phase prefetch staged exactly this entry:
+                    # the bulk transfer below is already done.
+                    self.stats.prefetch_hits += 1
+
         yield from self._ensure_resident(ctx, ptes)
         yield from self._perform_deferred_transfers(ctx, ptes)
         yield from self._patch_nested_parents(ctx, ptes)
+        if self.config.overlap_transfers:
+            # Kernels bypass the copy stream; make every staged transfer
+            # visible before execution (the one sync point of the
+            # pipelined launch path).
+            yield from ctx.vgpu.synchronize()
 
         read_only = set(read_only_vptrs)
         device_ptrs = tuple(p.device_ptr for p in ptes)
@@ -297,6 +363,7 @@ class MemoryManager:
                     read_only=tuple(read_only) if read_only else None,
                 )
             )
+        ctx.last_launch_vptrs = tuple(arg_vptrs)
         self.stats.kernels_launched += 1
         ctx.kernels_launched += 1
         ctx.gpu_seconds_used += duration
@@ -356,15 +423,26 @@ class MemoryManager:
     ) -> Generator:
         """One bulk H2D per entry whose swap copy is authoritative —
         however many copy_HD calls preceded it (coalescing, §4.5)."""
+        if self.config.overlap_transfers:
+            # Pipelined: enqueue every bulk transfer on the copy stream
+            # before awaiting the first, so the stream worker keeps the
+            # copy engine saturated back-to-back while other tenants'
+            # kernels hold the execution engine.
+            staged = [
+                (pte, ctx.vgpu.memcpy_h2d_async(pte.device_ptr, pte.size))
+                for pte in ptes
+                if pte.to_copy_2dev
+            ]
+            for pte, ev in staged:
+                yield ev
+                pte.on_copied_to_device()
+                self._account_swap_in(ctx, pte.size)
+            return
         for pte in ptes:
             if pte.to_copy_2dev:
                 yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, pte.size)
                 pte.on_copied_to_device()
-                self.stats.h2d_device_transfers += 1
-                self.stats.swap_bytes_in += pte.size
-                self._swap_in_bytes.observe(pte.size)
-                if self.obs.enabled:
-                    self.obs.swap_in(ctx, pte.size)
+                self._account_swap_in(ctx, pte.size)
 
     def _patch_nested_parents(self, ctx: Context, ptes: List[PageTableEntry]) -> Generator:
         """Rewrite embedded device pointers inside nested parents whose
@@ -403,15 +481,19 @@ class MemoryManager:
         *failed* launch swaps itself out, so that stuck contexts do not
         wake each other in a retry storm.
         """
+        if self.config.overlap_transfers:
+            # An in-flight asynchronous write-back may target this entry.
+            yield from self._drain_writebacks(ctx)
         if pte.to_copy_2swap:
             yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
             pte.on_copied_to_swap()
-            self.stats.swap_bytes_out += pte.size
-        self._swap_out_bytes.observe(pte.size)
-        if self.obs.enabled:
-            self.obs.swap_out(ctx, pte.size)
+            # Accounting belongs to the write-back, not the release: a
+            # clean entry moves no data, so it must observe neither the
+            # histogram nor the swap-out trace event.
+            self._account_swap_out(ctx, pte.size)
         yield from ctx.vgpu.free(pte.device_ptr)
         pte.on_device_released()
+        pte.prefetched = False
         if notify:
             self.memory_freed.notify_all()
 
@@ -480,9 +562,36 @@ class MemoryManager:
         Afterwards the swap area captures the full device state of the
         application, so its failure-replay journal can be cleared.
         """
+        if self.config.overlap_transfers:
+            yield from self._swap_out_context_pipelined(ctx, notify)
+            return
         for pte in self.page_table.entries_for(ctx):
             if pte.is_allocated:
                 yield from self._swap_entry(ctx, pte, notify=notify)
+        ctx.replay_journal.clear()
+
+    def _swap_out_context_pipelined(self, ctx: Context, notify: bool) -> Generator:
+        """Whole-context swap-out through the copy stream: every dirty
+        write-back is enqueued before the first is awaited, keeping the
+        copy engine saturated back-to-back instead of paying a full
+        call/return round trip per entry."""
+        yield from self._drain_writebacks(ctx)
+        resident = [p for p in self.page_table.entries_for(ctx) if p.is_allocated]
+        staged = [
+            (pte, ctx.vgpu.memcpy_d2h_async(pte.device_ptr, pte.size))
+            for pte in resident
+            if pte.to_copy_2swap
+        ]
+        for pte, ev in staged:
+            yield ev
+            pte.on_copied_to_swap()
+            self._account_swap_out(ctx, pte.size)
+        for pte in resident:
+            yield from ctx.vgpu.free(pte.device_ptr)
+            pte.on_device_released()
+            pte.prefetched = False
+        if notify and resident:
+            self.memory_freed.notify_all()
         ctx.replay_journal.clear()
 
     def migrate_context_p2p(self, ctx: Context, dst_vgpu) -> Generator:
@@ -496,6 +605,10 @@ class MemoryManager:
         """
         src_vgpu = ctx.vgpu
         assert src_vgpu is not None and src_vgpu.device is not dst_vgpu.device
+        if self.config.overlap_transfers:
+            # The peer copies below read device memory directly; pending
+            # asynchronous write-backs must land first.
+            yield from self._drain_writebacks(ctx)
         moved = []  # (pte, old_device_ptr, new_device_ptr)
         entries = [p for p in self.page_table.entries_for(ctx) if p.is_allocated]
         try:
@@ -527,24 +640,82 @@ class MemoryManager:
     # checkpoint / failure support (§4.6)
     # ------------------------------------------------------------------
     def checkpoint(self, ctx: Context) -> Generator:
-        """Write dirty entries back to swap, keeping them resident."""
+        """Write dirty entries back to swap, keeping them resident.
+
+        In overlap mode the write-backs run *behind* the caller: they are
+        enqueued on the context's copy stream and a completer process
+        finishes the bookkeeping as they land, so the application returns
+        to its CPU phase immediately and the copies hide under it.  A
+        barrier event in :attr:`_pending_writebacks` lets every consumer
+        of the dirty flags wait for the completer first.
+        """
+        if self.config.overlap_transfers and ctx.bound:
+            yield from self._drain_writebacks(ctx)
+            staged = [
+                (pte, ctx.vgpu.memcpy_d2h_async(pte.device_ptr, pte.size))
+                for pte in self.page_table.entries_for(ctx)
+                if pte.to_copy_2swap
+            ]
+            barrier = self.env.event()
+            self._pending_writebacks.setdefault(ctx, []).append(barrier)
+            self.env.process(
+                self._finish_checkpoint(ctx, staged, barrier),
+                name=f"ckpt-{ctx.owner}",
+            )
+            return
         written = 0
         for pte in self.page_table.entries_for(ctx):
             if pte.to_copy_2swap:
                 yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
                 pte.on_copied_to_swap()
-                self.stats.swap_bytes_out += pte.size
+                self._account_swap_out(ctx, pte.size)
                 written += pte.size
         ctx.replay_journal.clear()
         self.stats.checkpoints += 1
         if self.obs.enabled:
             self.obs.checkpoint(ctx, written)
 
+    def _finish_checkpoint(
+        self,
+        ctx: Context,
+        staged: List[Tuple[PageTableEntry, Event]],
+        barrier: Event,
+    ) -> Generator:
+        """Completer for an asynchronous checkpoint: marks entries clean
+        as their write-backs land, then clears the replay journal."""
+        written = 0
+        try:
+            for pte, ev in staged:
+                try:
+                    yield ev
+                except CudaRuntimeError:
+                    # Device died mid-write-back; the swap copies already
+                    # landed stay valid, recovery owns the rest.
+                    return
+                pte.on_copied_to_swap()
+                self._account_swap_out(ctx, pte.size)
+                written += pte.size
+            if ctx.state is not ContextState.FAILED:
+                ctx.replay_journal.clear()
+                self.stats.checkpoints += 1
+                if self.obs.enabled:
+                    self.obs.checkpoint(ctx, written)
+        finally:
+            # Remove before succeeding so woken drainers see the barrier
+            # gone when they re-check the pending list.
+            pending = self._pending_writebacks.get(ctx)
+            if pending is not None:
+                pending.remove(barrier)
+                if not pending:
+                    del self._pending_writebacks[ctx]
+            barrier.succeed()
+
     def reset_after_failure(self, ctx: Context) -> None:
         """Drop the (lost) device side of every entry without device
         operations; swap-resident data becomes authoritative and the
         journal will re-create what the device held exclusively."""
         for pte in self.page_table.entries_for(ctx):
+            pte.prefetched = False
             if pte.is_allocated:
                 pte.to_copy_2swap = False
                 pte.is_allocated = False
@@ -556,23 +727,68 @@ class MemoryManager:
         """Re-execute journaled kernels after a failure rebind (§4.6:
         only memory operations required by not-yet-executed kernels are
         replayed — the journal holds exactly the launches whose effects
-        were not yet captured in the swap area)."""
-        journal = list(ctx.replay_journal)
-        for launch in journal:
-            yield from self.prepare_and_launch(
-                ctx,
-                launch.kernel,
-                launch.arg_pointers,
-                launch.read_only or (),
-                grid=launch.grid,
-                block=launch.block,
-                replaying=True,
-            )
-            self.stats.replayed_kernels += 1
+        were not yet captured in the swap area).
+
+        Delegates to the dispatcher's journal-replay loop (wired through
+        :attr:`replay_fn`) so full-node restart and single-device recovery
+        share one replay implementation — same re-journaling, same
+        unbind-and-back-off behavior under memory pressure — instead of
+        two slowly diverging copies.
+        """
+        assert self.replay_fn is not None, "replay_fn not wired by the runtime"
+        replayed = yield from self.replay_fn(ctx)
+        return replayed
+
+    # ------------------------------------------------------------------
+    # overlap engine: CPU-phase prefetch
+    # ------------------------------------------------------------------
+    def prefetch(self, ctx: Context, vptrs: Sequence[int]) -> Generator:
+        """Stage the predicted next-launch working set during a CPU phase.
+
+        Deliberately conservative: only entries that fit the device's
+        currently *free* memory are touched — prefetch never evicts and
+        never swaps, it just moves work the next launch would have done
+        into a window where the GPU's copy engine is otherwise idle.  The
+        caller holds ``ctx.lock`` and this generator awaits every transfer
+        it enqueued before returning, so a swap-out (which also takes the
+        lock) can never race an in-flight prefetch copy.
+        """
+        assert ctx.bound, "prefetch requires a bound context"
+        device = ctx.vgpu.device
+        staged: List[Tuple[PageTableEntry, Event]] = []
+        for vptr in vptrs:
+            try:
+                pte = self.page_table.lookup(ctx, vptr)
+            except RuntimeApiError:
+                continue  # freed since the last launch; not an error here
+            if not pte.is_allocated:
+                if pte.size > device.allocator.free_bytes:
+                    continue
+                try:
+                    address = yield from ctx.vgpu.malloc(pte.size)
+                except CudaRuntimeError as exc:
+                    if exc.code != CudaError.cudaErrorMemoryAllocation:
+                        raise
+                    continue
+                pte.on_device_allocated(address)
+            if pte.to_copy_2dev:
+                staged.append(
+                    (pte, ctx.vgpu.memcpy_h2d_async(pte.device_ptr, pte.size))
+                )
+        for pte, ev in staged:
+            yield ev
+            pte.on_copied_to_device()
+            self._account_swap_in(ctx, pte.size)
+            pte.prefetched = True
+            self.stats.prefetch_issued += 1
+            self.stats.prefetch_bytes += pte.size
 
     # ------------------------------------------------------------------
     def release_context(self, ctx: Context) -> Generator:
         """Application exit: free everything it still holds."""
+        if self.config.overlap_transfers:
+            # Never release device memory under an in-flight write-back.
+            yield from self._drain_writebacks(ctx)
         released_device_memory = False
         for pte in self.page_table.entries_for(ctx):
             if pte.is_allocated and ctx.bound:

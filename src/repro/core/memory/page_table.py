@@ -72,6 +72,7 @@ class PageTableEntry:
         "nested",
         "last_use",
         "seq",
+        "prefetched",
     )
 
     def __init__(
@@ -96,6 +97,9 @@ class PageTableEntry:
         #: (victim choice for intra-application swap).
         self.last_use = 0.0
         self.seq = next(_entry_seq)
+        #: Set by the overlap engine when a CPU-phase prefetch staged this
+        #: entry; the next launch referencing it counts a prefetch hit.
+        self.prefetched = False
 
     # -- state machine (Figure 4) --------------------------------------
     @property

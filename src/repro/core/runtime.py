@@ -81,6 +81,10 @@ class NodeRuntime:
                            fn=self.load_per_vgpu)
         self.metrics.gauge("swap_used_bytes", "host swap-area occupancy",
                            fn=lambda: self.memory.swap.used_bytes)
+        self.metrics.gauge("copy_exec_overlap_seconds",
+                           "seconds the copy and exec engines ran concurrently",
+                           fn=lambda: sum(d.copy_exec_overlap_seconds
+                                          for d in self.driver.devices))
         # (call_latency_seconds / queue_wait_seconds / swap_*_bytes
         # histograms are created by the dispatcher, scheduler and memory
         # manager against this same registry.)
@@ -92,6 +96,12 @@ class NodeRuntime:
         ]
         # Memory-informed placement (§4.5 MemUsage/CapacityList).
         self.scheduler.mem_needed_fn = self.memory.page_table.total_bytes
+        # Single replay implementation (§4.6): full-node restart replays
+        # through the dispatcher's recovery loop.
+        self.memory.replay_fn = self.dispatcher.replay_journal
+        # Engine-occupancy tracing: the driver reports every copy/exec
+        # span; forwarded onto the event bus when tracing is enabled.
+        self.driver.span_hook = self._on_engine_span
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -163,6 +173,13 @@ class NodeRuntime:
     # ------------------------------------------------------------------
     def _unbind_after_inter_swap(self, victim: Context, reason: str) -> None:
         self.scheduler.release(victim, reason)
+
+    def _on_engine_span(
+        self, device: GPUDevice, engine: str, op: str, nbytes: int,
+        owner: str, begin_at: float,
+    ) -> None:
+        if self.obs.enabled:
+            self.obs.engine_span(device, engine, op, nbytes, owner, begin_at)
 
     def _cpu_phase_reaper(self) -> Generator:
         """Optional: unbind contexts lingering in CPU phases while others

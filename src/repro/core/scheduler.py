@@ -16,6 +16,7 @@ from typing import Callable, Dict, Generator, List, Optional
 from repro.sim import Condition, Environment, Event
 from repro.simcuda.device import GPUDevice
 from repro.simcuda.driver import CudaDriver
+from repro.simcuda.errors import CudaError, CudaRuntimeError
 
 from repro.core.config import RuntimeConfig
 from repro.core.context import Context, ContextState
@@ -101,6 +102,28 @@ class Scheduler:
                 vgpu.retired = True
                 if vgpu.bound_context is not None:
                     orphans.append(vgpu.bound_context)
+        # Contexts queued for a binding would otherwise sleep forever on
+        # their grant event: the retirement shrank (or emptied) the vGPU
+        # pool they were waiting on.  Re-run a grant round if any healthy
+        # device remains; fail every waiter if none does, so their
+        # handlers can surface the error instead of hanging.
+        if any(not d.failed for d in self.driver.devices):
+            self._grant_waiting()
+        elif self._waiting:
+            waiters = list(self._waiting)
+            self._waiting.clear()
+            self._enqueued_at.clear()
+            for ctx in waiters:
+                ev = self._waiting_events.pop(ctx)
+                ctx.state = ContextState.PENDING
+                ev.fail(
+                    CudaRuntimeError(
+                        CudaError.cudaErrorDevicesUnavailable,
+                        f"no healthy device to bind {ctx.owner}",
+                    )
+                )
+            if self.obs.enabled:
+                self.obs.queue_depth("waiting_contexts", 0)
         return orphans
 
     # ------------------------------------------------------------------
@@ -162,9 +185,23 @@ class Scheduler:
         return [v for v in idle if v.device is device]
 
     def request_binding(self, ctx: Context, front: bool = False) -> Generator:
-        """Block until ``ctx`` is bound to a vGPU."""
+        """Block until ``ctx`` is bound to a vGPU.
+
+        Raises
+        ------
+        CudaRuntimeError
+            ``cudaErrorDevicesUnavailable`` when the node has no healthy
+            device left — immediately, or when the last one retires while
+            this context waits.  Queueing would otherwise sleep forever on
+            a grant that can never come.
+        """
         if ctx.bound:
             return
+        if not any(not d.failed for d in self.driver.devices):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorDevicesUnavailable,
+                f"no healthy device to bind {ctx.owner}",
+            )
         idle = self._satisfying_idle(ctx, self.idle_vgpus())
         if idle and not self._waiting:
             self._queue_wait.observe(0.0)

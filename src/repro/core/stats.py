@@ -49,6 +49,12 @@ class RuntimeStats:
     h2d_requests: int = 0
     h2d_device_transfers: int = 0
     d2h_requests: int = 0
+    #: Entries staged onto the device during CPU phases by the overlap
+    #: engine's prefetch hook, and how many of them the next launch
+    #: actually referenced (a hit saves that launch one bulk transfer).
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_bytes: int = 0
     #: Bad calls detected in the runtime without touching the GPU.
     bad_calls_detected: int = 0
     #: Bindings performed (context granted a vGPU).

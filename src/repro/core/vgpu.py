@@ -14,11 +14,12 @@ from __future__ import annotations
 import itertools
 from typing import Generator, Optional, TYPE_CHECKING
 
-from repro.sim import Environment
+from repro.sim import Environment, Event
 from repro.simcuda.context import CudaContext
 from repro.simcuda.driver import CudaDriver
 from repro.simcuda.device import GPUDevice
 from repro.simcuda.kernels import KernelLaunch
+from repro.simcuda.streams import Stream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.context import Context
@@ -40,6 +41,10 @@ class VirtualGPU:
         self.seq = next(_vgpu_seq)
         #: The CUDA context this vGPU works in (created at startup).
         self.cuda_context: Optional[CudaContext] = None
+        #: In-order async copy stream (created at startup); the overlap
+        #: engine routes bulk transfers and write-backs through it so they
+        #: can run behind the caller and overlap kernel execution.
+        self.copy_stream: Optional[Stream] = None
         #: The application context currently bound (None = idle).
         self.bound_context: Optional["Context"] = None
         self.total_bound_seconds = 0.0
@@ -56,6 +61,7 @@ class VirtualGPU:
         self.cuda_context = yield from self.driver.create_context(
             self.device, owner=self.name
         )
+        self.copy_stream = Stream(self.driver, self.cuda_context)
 
     def shutdown(self) -> Generator:
         """Destroy the CUDA context (device removal / node shutdown)."""
@@ -110,6 +116,19 @@ class VirtualGPU:
 
     def memcpy_d2h(self, address: int, nbytes: int) -> Generator:
         yield from self.driver.memcpy_d2h(self.cuda_context, address, nbytes)
+
+    def memcpy_h2d_async(self, address: int, nbytes: int) -> Event:
+        """Enqueue an H2D on the copy stream; returns its completion event."""
+        return self.copy_stream.memcpy_h2d_async(address, nbytes)
+
+    def memcpy_d2h_async(self, address: int, nbytes: int) -> Event:
+        """Enqueue a D2H on the copy stream; returns its completion event."""
+        return self.copy_stream.memcpy_d2h_async(address, nbytes)
+
+    def synchronize(self) -> Generator:
+        """Drain the copy stream (re-raising any asynchronous error)."""
+        if self.copy_stream is not None:
+            yield from self.copy_stream.synchronize()
 
     def launch(self, launch: KernelLaunch) -> Generator:
         yield from self.driver.launch(self.cuda_context, launch)

@@ -44,6 +44,13 @@ class BatchResult:
     tag_times: Dict[str, List[float]] = dataclasses.field(default_factory=dict)
     #: device name -> execution-engine busy fraction over the batch
     gpu_utilization: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: device name -> seconds its copy and exec engines ran concurrently
+    #: (the overlap engine's win; always 0 without pipelined transfers)
+    copy_overlap: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_copy_overlap(self) -> float:
+        return sum(self.copy_overlap.values())
 
     def avg_by_tag(self) -> Dict[str, float]:
         return {
@@ -136,6 +143,9 @@ def run_node_batch(
         errors=len(errors),
         tag_times=tag_times,
         gpu_utilization=utilization,
+        copy_overlap={
+            d.name: d.copy_exec_overlap_seconds for d in node.driver.devices
+        },
     )
 
 
@@ -220,6 +230,9 @@ def run_arrival_process(
         errors=len(errors),
         tag_times=tag_times,
         gpu_utilization=utilization,
+        copy_overlap={
+            d.name: d.copy_exec_overlap_seconds for d in node.driver.devices
+        },
     )
 
 

@@ -17,6 +17,7 @@ from repro.obs.events import (
     CallBegin,
     CallEnd,
     CheckpointTaken,
+    EngineSpan,
     EVENT_TYPES,
     FailureRecovered,
     Migration,
@@ -53,6 +54,7 @@ __all__ = [
     "CallBegin",
     "CallEnd",
     "CheckpointTaken",
+    "EngineSpan",
     "EVENT_TYPES",
     "FailureRecovered",
     "Migration",

@@ -22,6 +22,7 @@ from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple
 __all__ = [
     "CallBegin",
     "CallEnd",
+    "EngineSpan",
     "SwapOut",
     "SwapIn",
     "Bind",
@@ -65,6 +66,28 @@ class CallEnd:
     device_id: Optional[int] = None
     vgpu: Optional[str] = None
     error: Optional[str] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineSpan:
+    """One occupancy of a device engine: a DMA transfer on the copy
+    engine or a kernel on the exec engine.  Emitted from the driver at
+    operation end (it carries its own begin time), so the span covers
+    only actual engine time — queueing for the engine is excluded.
+    Concurrent copy/exec spans on one device are the §4.5
+    computation/communication overlap, rendered as overlapping rows in
+    the Chrome trace."""
+
+    kind: ClassVar[str] = "EngineSpan"
+    at: float
+    context: str
+    engine: str          # "exec" | "copy"
+    op: str              # kernel name or memcpy_{h2d,d2h,peer}
+    nbytes: int = 0
+    begin_at: float = 0.0
+    duration: float = 0.0
+    device_id: Optional[int] = None
     node: str = ""
 
 
@@ -182,6 +205,7 @@ class QueueDepthChanged:
 EVENT_TYPES: Tuple[type, ...] = (
     CallBegin,
     CallEnd,
+    EngineSpan,
     SwapOut,
     SwapIn,
     Bind,
@@ -278,6 +302,26 @@ class Tracer:
                 device_id=device_id,
                 vgpu=vgpu,
                 error=error,
+                node=self.node,
+            )
+        )
+
+    def engine_span(
+        self, device, engine: str, op: str, nbytes: int, owner: str, begin_at: float
+    ) -> None:
+        if not self.enabled:
+            return
+        at = self.env.now
+        self.emit(
+            EngineSpan(
+                at=at,
+                context=owner,
+                engine=engine,
+                op=op,
+                nbytes=nbytes,
+                begin_at=begin_at,
+                duration=at - begin_at,
+                device_id=device.device_id,
                 node=self.node,
             )
         )

@@ -21,6 +21,7 @@ from repro.obs.events import (
     Bind,
     CallEnd,
     CheckpointTaken,
+    EngineSpan,
     FailureRecovered,
     Migration,
     Offload,
@@ -116,7 +117,24 @@ def chrome_trace(events: Iterable[Any]) -> Dict[str, Any]:
     maps = _IdMaps()
     trace_events: List[Dict[str, Any]] = []
     for event in events:
-        if isinstance(event, CallEnd):
+        if isinstance(event, EngineSpan):
+            # One row per device engine, so concurrent copy/exec spans
+            # render as the §4.5 overlap directly under the vGPU rows.
+            pid = maps.pid(event.node, event.device_id)
+            tid = maps.tid(pid, f"{event.engine}-engine")
+            trace_events.append(
+                {
+                    "name": event.op,
+                    "cat": "engine",
+                    "ph": "X",
+                    "ts": event.begin_at * _US,
+                    "dur": event.duration * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _args(event),
+                }
+            )
+        elif isinstance(event, CallEnd):
             pid, tid = _row(maps, event)
             trace_events.append(
                 {

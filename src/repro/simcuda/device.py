@@ -155,6 +155,14 @@ class GPUDevice:
         #: Cumulative busy seconds of the execution engine (for utilization
         #: reporting in the experiments).
         self.busy_seconds = 0.0
+        #: Cumulative busy seconds of the DMA copy engine.
+        self.copy_busy_seconds = 0.0
+        #: Simulated seconds during which the copy engine and the exec
+        #: engine were busy *simultaneously* — the paper's §4.5
+        #: computation/communication overlap, measured on the device.
+        self.copy_exec_overlap_seconds = 0.0
+        self._engine_active = {"exec": 0, "copy": 0}
+        self._overlap_since: Optional[float] = None
         self.kernels_executed = 0
         self.bytes_copied = 0
 
@@ -176,6 +184,29 @@ class GPUDevice:
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / elapsed)
+
+    # ------------------------------------------------------------------
+    # engine occupancy (overlap accounting)
+    # ------------------------------------------------------------------
+    def engine_begin(self, engine: str) -> None:
+        """An operation started occupying ``engine`` ("exec"/"copy").
+
+        With space-sharing several kernels may hold the exec engine at
+        once, so occupancy is a counter; the overlap window opens when
+        both engines first become simultaneously active."""
+        active = self._engine_active
+        active[engine] += 1
+        if self._overlap_since is None and active["exec"] and active["copy"]:
+            self._overlap_since = self.env.now
+
+    def engine_end(self, engine: str) -> None:
+        active = self._engine_active
+        active[engine] -= 1
+        if self._overlap_since is not None and (
+            not active["exec"] or not active["copy"]
+        ):
+            self.copy_exec_overlap_seconds += self.env.now - self._overlap_since
+            self._overlap_since = None
 
     # ------------------------------------------------------------------
     def fail(self) -> None:

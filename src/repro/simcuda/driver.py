@@ -16,7 +16,7 @@ and contend on each device's execution/copy engines exactly like CUDA 3.x:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.sim import Environment
 from repro.simcuda import timing
@@ -39,6 +39,11 @@ class CudaDriver:
         #: serializing — the Ravi et al. integration enabled by the
         #: runtime's delayed binding (§6).  Off = CUDA 3.x behaviour.
         self.concurrent_kernels = False
+        #: Optional observability hook called at the end of every engine
+        #: occupancy — ``hook(device, engine, op, nbytes, owner, begin_at)``.
+        #: Wired by the node runtime to emit EngineSpan trace events; the
+        #: driver itself never consumes simulated time calling it.
+        self.span_hook: Optional[Callable[..., None]] = None
         self.devices: List[GPUDevice] = []
         #: device -> live contexts on it
         self._contexts: Dict[int, List[CudaContext]] = {}
@@ -182,9 +187,20 @@ class CudaDriver:
         with device.copy_engine.request() as req:
             yield req
             self._check_context(ctx)
-            yield self.env.timeout(timing.copy_seconds(device.spec, nbytes))
+            duration = timing.copy_seconds(device.spec, nbytes)
+            begin_at = self.env.now
+            device.engine_begin("copy")
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                device.engine_end("copy")
             self._check_context(ctx)
             device.bytes_copied += nbytes
+            device.copy_busy_seconds += duration
+            if self.span_hook is not None:
+                self.span_hook(
+                    device, "copy", f"memcpy_{kind}", nbytes, ctx.owner, begin_at
+                )
 
     def memcpy_peer(
         self,
@@ -224,13 +240,30 @@ class CudaDriver:
             yield dst_req
             self._check_context(src_ctx)
             self._check_context(dst_ctx)
-            yield self.env.timeout(
-                timing.COPY_LATENCY_SECONDS + nbytes / (bandwidth * 1e9)
-            )
+            duration = timing.COPY_LATENCY_SECONDS + nbytes / (bandwidth * 1e9)
+            begin_at = self.env.now
+            src_ctx.device.engine_begin("copy")
+            dst_ctx.device.engine_begin("copy")
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                src_ctx.device.engine_end("copy")
+                dst_ctx.device.engine_end("copy")
             self._check_context(src_ctx)
             self._check_context(dst_ctx)
             src_ctx.device.bytes_copied += nbytes
             dst_ctx.device.bytes_copied += nbytes
+            src_ctx.device.copy_busy_seconds += duration
+            dst_ctx.device.copy_busy_seconds += duration
+            if self.span_hook is not None:
+                self.span_hook(
+                    src_ctx.device, "copy", "memcpy_peer", nbytes,
+                    src_ctx.owner, begin_at,
+                )
+                self.span_hook(
+                    dst_ctx.device, "copy", "memcpy_peer", nbytes,
+                    dst_ctx.owner, begin_at,
+                )
         finally:
             src_ctx.device.copy_engine.release(src_req)
             dst_ctx.device.copy_engine.release(dst_req)
@@ -259,12 +292,21 @@ class CudaDriver:
             yield req
             self._check_context(ctx)
             duration = timing.kernel_seconds(device.spec, launch.kernel)
-            yield self.env.timeout(duration)
+            begin_at = self.env.now
+            device.engine_begin("exec")
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                device.engine_end("exec")
             # A failure mid-kernel is detected at kernel end, as on real
             # hardware (the launch errors rather than completing).
             self._check_context(ctx)
             device.busy_seconds += duration
             device.kernels_executed += 1
+            if self.span_hook is not None:
+                self.span_hook(
+                    device, "exec", launch.kernel.name, 0, ctx.owner, begin_at
+                )
 
     def _launch_space_shared(self, ctx: CudaContext, launch: KernelLaunch) -> Generator:
         """Consolidated execution: the launch occupies only the SMs it
@@ -279,10 +321,19 @@ class CudaDriver:
             self._check_context(ctx)
             fraction = granted / sm_count
             duration = timing.kernel_seconds(device.spec, launch.kernel)
-            yield self.env.timeout(duration)
+            begin_at = self.env.now
+            device.engine_begin("exec")
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                device.engine_end("exec")
             self._check_context(ctx)
             device.busy_seconds += duration * fraction
             device.kernels_executed += 1
+            if self.span_hook is not None:
+                self.span_hook(
+                    device, "exec", launch.kernel.name, 0, ctx.owner, begin_at
+                )
         finally:
             device.sm_slots.put(granted)
 

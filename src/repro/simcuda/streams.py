@@ -6,14 +6,24 @@ synchronously before a launch or queued on a stream alongside it.  The
 stream model here is deliberately minimal: operations enqueued on one
 stream execute in order; different streams may overlap subject to the
 device's engine resources (one exec engine, one copy engine).
+
+Each async operation returns a per-op completion :class:`~repro.sim.Event`
+so callers can pipeline — enqueue several transfers, then wait for each
+exactly when its result is needed.  A failing operation (device failure
+mid-transfer) fails its completion event, poisons the stream, and fails
+every queued and subsequently enqueued operation with the same error;
+:meth:`Stream.synchronize` re-raises it in the caller, mirroring how
+``cudaStreamSynchronize`` surfaces asynchronous errors.  Completion
+events are pre-defused so an unobserved failure never crashes the
+simulation — the error still surfaces at the next synchronize.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Generator
+from typing import Generator, Optional
 
-from repro.sim import Environment, Store
+from repro.sim import Environment, Event, Store
 from repro.simcuda.context import CudaContext
 from repro.simcuda.driver import CudaDriver
 from repro.simcuda.kernels import KernelLaunch
@@ -35,42 +45,70 @@ class Stream:
         self._idle = self.env.event()
         self._idle.succeed()
         self._pending = 0
+        #: Sticky asynchronous error: once an operation fails, the stream
+        #: is poisoned and every later operation fails with this.
+        self._error: Optional[BaseException] = None
         self._worker = self.env.process(self._run(), name=f"stream-{self.stream_id}")
 
     # ------------------------------------------------------------------
-    def memcpy_h2d_async(self, address: int, nbytes: int) -> None:
-        self._enqueue(("h2d", address, nbytes))
+    def memcpy_h2d_async(self, address: int, nbytes: int) -> Event:
+        return self._enqueue(("h2d", address, nbytes))
 
-    def memcpy_d2h_async(self, address: int, nbytes: int) -> None:
-        self._enqueue(("d2h", address, nbytes))
+    def memcpy_d2h_async(self, address: int, nbytes: int) -> Event:
+        return self._enqueue(("d2h", address, nbytes))
 
-    def launch_async(self, launch: KernelLaunch) -> None:
-        self._enqueue(("launch", launch, None))
+    def launch_async(self, launch: KernelLaunch) -> Event:
+        return self._enqueue(("launch", launch, None))
 
     def synchronize(self) -> Generator:
-        """Block the calling process until all enqueued work has drained."""
+        """Block the calling process until all enqueued work has drained.
+
+        Re-raises the stream's sticky asynchronous error, if any — the
+        point where a failure on a fire-and-forget operation becomes
+        visible to the issuing process.
+        """
         while self._pending:
             yield self._idle
+        if self._error is not None:
+            raise self._error
         return None
 
     # ------------------------------------------------------------------
-    def _enqueue(self, op) -> None:
+    def _enqueue(self, op) -> Event:
+        done = self.env.event()
+        # Unobserved failures must not crash the environment; callers that
+        # do wait still have the exception thrown into them.
+        done.defused = True
+        if self._error is not None:
+            done.fail(self._error)
+            return done
         self._pending += 1
         if self._idle.triggered:
             self._idle = self.env.event()
-        self._ops.put(op)
+        self._ops.put((op, done))
+        return done
 
     def _run(self) -> Generator:
         while True:
-            kind, a, b = yield self._ops.get()
-            if kind == "h2d":
-                yield from self.driver.memcpy_h2d(self.ctx, a, b)
-            elif kind == "d2h":
-                yield from self.driver.memcpy_d2h(self.ctx, a, b)
-            elif kind == "launch":
-                yield from self.driver.launch(self.ctx, a)
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown stream op {kind!r}")
+            (kind, a, b), done = yield self._ops.get()
+            try:
+                if self._error is not None:
+                    # Poisoned: drain queued work without touching the
+                    # device, failing each op with the original error.
+                    raise self._error
+                if kind == "h2d":
+                    yield from self.driver.memcpy_h2d(self.ctx, a, b)
+                elif kind == "d2h":
+                    yield from self.driver.memcpy_d2h(self.ctx, a, b)
+                elif kind == "launch":
+                    yield from self.driver.launch(self.ctx, a)
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unknown stream op {kind!r}")
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                self._error = exc
+                done.fail(exc)
+            else:
+                done.succeed()
             self._pending -= 1
             if self._pending == 0 and not self._idle.triggered:
                 self._idle.succeed()

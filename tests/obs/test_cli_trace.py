@@ -42,23 +42,38 @@ def test_cli_trace_validates_against_trace_event_schema(tmp_path):
     gpu_pids = [p for p, n in process_names.items() if "/GPU" in n]
     assert len(gpu_pids) == 1  # single C2050
 
-    # CallBegin/CallEnd spans appear on every one of the 4 vGPU rows.
+    # CallBegin/CallEnd spans appear on every one of the 4 vGPU rows;
+    # the device's copy/exec engine-occupancy rows sit beside them.
     (gpu_pid,) = gpu_pids
     span_tids = {
         e["tid"] for e in events if e["ph"] == "X" and e["pid"] == gpu_pid
     }
-    assert len(span_tids) == 4
     thread_names = {
         (e["pid"], e["tid"]): e["args"]["name"]
         for e in events
         if e["ph"] == "M" and e["name"] == "thread_name"
     }
-    assert all("vGPU" in thread_names[(gpu_pid, tid)] for tid in span_tids)
+    vgpu_tids = {t for t in span_tids if "vGPU" in thread_names[(gpu_pid, t)]}
+    engine_tids = {t for t in span_tids if "engine" in thread_names[(gpu_pid, t)]}
+    assert len(vgpu_tids) == 4
+    assert vgpu_tids | engine_tids == span_tids
+    # The default mix launches kernels and moves memory, so both engines
+    # must have occupancy spans.
+    engine_names = {thread_names[(gpu_pid, t)] for t in engine_tids}
+    assert engine_names == {"exec-engine", "copy-engine"}
 
-    # The memory-heavy default mix oversubscribes the device: swap
+    # The memory-heavy default mix oversubscribes the device: swap-in
     # instants must be present (and binding churn with them).
     instants = {e["name"] for e in events if e["ph"] == "i"}
-    assert {"SwapOut", "SwapIn", "Bind", "Unbind"} <= instants
+    assert {"SwapIn", "Bind", "Unbind"} <= instants
+    # In this mix every kernel argument the application reads back is a
+    # read-only buffer, so no device→host write-back ever happens: a
+    # SwapOut instant here would be the phantom clean-entry emission the
+    # accounting unification removed.  The trace must agree with the
+    # counter.
+    swap_out_events = [e for e in events if e["ph"] == "i" and e["name"] == "SwapOut"]
+    assert not swap_out_events
+    assert 'runtime_swap_bytes_out{node="node0-rt"} 0' in metrics_path.read_text()
 
 
 def test_cli_metrics_file_has_histograms_and_stats(tmp_path):

@@ -38,6 +38,9 @@ EXPECTED_STATS_KEYS = {
     "h2d_requests",
     "h2d_device_transfers",
     "d2h_requests",
+    "prefetch_issued",
+    "prefetch_hits",
+    "prefetch_bytes",
     "bad_calls_detected",
     "bindings",
     "unbindings",

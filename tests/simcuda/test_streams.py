@@ -78,3 +78,79 @@ def test_synchronize_on_empty_stream_returns_immediately():
     p = env.process(app())
     env.run(until=p)
     assert p.value == 0
+
+
+def test_per_op_completion_events_fire_in_fifo_order():
+    env, driver = setup()
+
+    def app():
+        ctx = yield from driver.create_context(driver.devices[0])
+        a = yield from driver.malloc(ctx, 10 * MIB)
+        s = Stream(driver, ctx)
+        e1 = s.memcpy_h2d_async(a, 10 * MIB)
+        e2 = s.memcpy_d2h_async(a, 10 * MIB)
+        yield e2
+        # In-order queue: by the time op 2 completes, op 1 has too.
+        assert e1.triggered and e1.ok
+        yield e1  # waiting on an already-processed event is legal
+        return True
+
+    p = env.process(app())
+    env.run(until=p)
+    assert p.value is True
+
+
+def test_failed_op_fails_its_event_and_poisons_the_stream():
+    from repro.simcuda.errors import CudaRuntimeError
+
+    env, driver = setup()
+    dev = driver.devices[0]
+
+    def app():
+        ctx = yield from driver.create_context(dev)
+        a = yield from driver.malloc(ctx, 10 * MIB)
+        s = Stream(driver, ctx)
+        dev.fail()
+        ev = s.memcpy_h2d_async(a, 10 * MIB)
+        try:
+            yield ev
+        except CudaRuntimeError:
+            pass
+        else:
+            raise AssertionError("waiting on a failed op must raise")
+        # Poisoned: a later enqueue fails immediately, without the device.
+        ev2 = s.memcpy_d2h_async(a, 10 * MIB)
+        assert ev2.triggered and not ev2.ok
+        try:
+            yield from s.synchronize()
+        except CudaRuntimeError:
+            return True
+        raise AssertionError("synchronize must re-raise the sticky error")
+
+    p = env.process(app())
+    env.run(until=p)
+    assert p.value is True
+
+
+def test_unobserved_failure_surfaces_at_synchronize_not_as_a_crash():
+    from repro.simcuda.errors import CudaRuntimeError
+
+    env, driver = setup()
+    dev = driver.devices[0]
+
+    def app():
+        ctx = yield from driver.create_context(dev)
+        a = yield from driver.malloc(ctx, 10 * MIB)
+        s = Stream(driver, ctx)
+        dev.fail()
+        s.memcpy_h2d_async(a, 10 * MIB)  # fire-and-forget; never awaited
+        yield env.timeout(1.0)  # failure lands unobserved: must not crash
+        try:
+            yield from s.synchronize()
+        except CudaRuntimeError:
+            return True
+        raise AssertionError("sticky error must surface at synchronize")
+
+    p = env.process(app())
+    env.run(until=p)
+    assert p.value is True
