@@ -145,6 +145,9 @@ def cmd_run(args) -> int:
             defer_transfers=not args.eager_transfers,
             overlap_transfers=args.overlap,
             prefetch_enabled=args.prefetch,
+            swap_chunk_bytes=args.swap_chunk_mib * 1024**2,
+            eviction_mode=args.eviction_mode,
+            eviction_policy=args.eviction_policy,
             tracing=bool(args.trace_out),
         )
     result = run_node_batch(jobs, args.gpus, config, label="cli",
@@ -212,6 +215,16 @@ def main(argv=None) -> int:
     run.add_argument("--overlap", action="store_true",
                      help="pipeline bulk transfers and write-backs through "
                           "per-vGPU copy streams (overlap engine)")
+    run.add_argument("--swap-chunk-mib", type=int, default=0, metavar="MIB",
+                     help="demand-paging chunk size in MiB "
+                          "(0 = whole-entry granularity)")
+    run.add_argument("--eviction-mode", default="context",
+                     choices=("context", "partial"),
+                     help="inter-application eviction: whole-context swap "
+                          "or byte-proportional partial eviction")
+    run.add_argument("--eviction-policy", default="lru",
+                     choices=("lru", "lfu", "second_chance", "cost_aware"),
+                     help="victim ordering for --eviction-mode=partial")
     run.add_argument("--prefetch", action="store_true",
                      help="stage the predicted next-launch working set "
                           "during CPU phases (needs --overlap)")

@@ -52,6 +52,27 @@ class RuntimeConfig:
         ("fcfs", "sjf", "credit").
     enable_intra_swap / enable_inter_swap:
         The two memory-swapping modes of §4.5.
+    swap_chunk_bytes:
+        Demand-paging granularity: allocations larger than this are split
+        into fixed-size chunks with per-chunk residency/dirty state, so a
+        partially written buffer stages, faults in and writes back only
+        the chunks that actually hold (or dirtied) data — and the overlap
+        engine pipelines per-chunk transfers instead of whole entries.
+        ``0`` (default) keeps the paper's whole-entry granularity,
+        bit-for-bit identical in stats.
+    eviction_mode:
+        How inter-application memory pressure is resolved.  ``"context"``
+        (default) is the paper's whole-context swap: one victim's entire
+        device state is written back and the victim unbound.
+        ``"partial"`` runs a device-wide eviction loop instead, freeing
+        *only* the bytes the faulting launch needs, entry by entry across
+        any number of victims (which stay bound), ordered by
+        ``eviction_policy``.  Whole-context swap-out remains the
+        correctness path for unbind/migration/checkpoint either way.
+    eviction_policy:
+        Victim ordering for partial eviction, registered in
+        :mod:`repro.core.memory.eviction`: "lru", "lfu", "second_chance",
+        or "cost_aware" (fewest dirty bytes written back per byte freed).
     swap_retry_backoff_s:
         Initial wait before a context that failed to obtain device memory
         (and found no swap victim) retries after unbinding.  Consecutive
@@ -108,6 +129,9 @@ class RuntimeConfig:
     policy: str = "fcfs"
     enable_intra_swap: bool = True
     enable_inter_swap: bool = True
+    swap_chunk_bytes: int = 0
+    eviction_mode: str = "context"
+    eviction_policy: str = "lru"
     swap_retry_backoff_s: float = 2e-3
     swap_retry_max_backoff_s: float = 1.0
     migration_enabled: bool = False
@@ -131,6 +155,14 @@ class RuntimeConfig:
             raise ValueError("vgpus_per_device must be >= 1")
         if self.policy not in ("fcfs", "sjf", "credit", "edf"):
             raise ValueError(f"unknown policy {self.policy!r}")
+        if self.swap_chunk_bytes < 0:
+            raise ValueError("swap_chunk_bytes must be >= 0")
+        if self.eviction_mode not in ("context", "partial"):
+            raise ValueError(f"unknown eviction_mode {self.eviction_mode!r}")
+        # Literal tuple rather than the registry in repro.core.memory.eviction
+        # to keep config import-cycle free.
+        if self.eviction_policy not in ("lru", "lfu", "second_chance", "cost_aware"):
+            raise ValueError(f"unknown eviction policy {self.eviction_policy!r}")
         if self.swap_retry_backoff_s < 0:
             raise ValueError("swap_retry_backoff_s must be >= 0")
         if self.max_failed_rebind_attempts < 0:

@@ -33,6 +33,7 @@ from repro.simcuda.kernels import KernelDescriptor, KernelLaunch
 from repro.core.config import RuntimeConfig
 from repro.core.context import Context, ContextState
 from repro.core.errors import RuntimeApiError, RuntimeErrorCode
+from repro.core.memory.eviction import make_eviction_policy
 from repro.core.memory.nested import NestedStructure
 from repro.core.memory.page_table import EntryType, PageTable, PageTableEntry
 from repro.core.memory.swap import SwapArea
@@ -77,6 +78,8 @@ class MemoryManager:
         )
         self.page_table = PageTable()
         self.swap = SwapArea(config.host_swap_capacity_bytes, config.host_memcpy_bps)
+        #: Victim ordering for partial (device-wide) eviction.
+        self.eviction_policy = make_eviction_policy(config.eviction_policy)
         #: parent virtual ptr -> registration
         self.nested: Dict[int, NestedStructure] = {}
         #: Wired by the runtime: unbind a context after an inter-app swap.
@@ -148,6 +151,7 @@ class MemoryManager:
                 RuntimeErrorCode.SWAP_ALLOCATION_FAILED, f"invalid size {size}"
             )
         pte = self.page_table.create_entry(ctx, size, entry_type, params)
+        pte.configure_chunks(self.config.swap_chunk_bytes)
         try:
             pte.swap_ptr = self.swap.allocate(size)
         except RuntimeApiError:
@@ -197,12 +201,18 @@ class MemoryManager:
             yield from self._drain_writebacks(ctx)
         # Host-side staging into the swap area.
         yield self.env.timeout(self.swap.write_seconds(nbytes))
-        pte.on_host_write()
+        pte.host_write(nbytes)
         if not self.config.defer_transfers and ctx.bound and pte.is_allocated:
             # Overlap mode: push the data now.
-            yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, nbytes)
-            pte.on_copied_to_device()
-            self.stats.h2d_device_transfers += 1
+            if not pte.chunked:
+                yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, nbytes)
+                pte.on_copied_to_device()
+                self.stats.h2d_device_transfers += 1
+            else:
+                for run in pte.fault_runs():
+                    yield from ctx.vgpu.memcpy_h2d(pte.device_ptr + run[0], run[1])
+                    pte.complete_fault(run)
+                    self.stats.h2d_device_transfers += 1
 
     # ------------------------------------------------------------------
     # Table 1: Copy_DH
@@ -228,9 +238,10 @@ class MemoryManager:
             yield from self._drain_writebacks(ctx)
         if pte.to_copy_2swap:
             assert ctx.bound, "dirty device data implies a bound context"
-            yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
-            pte.on_copied_to_swap()
-            self._account_swap_out(ctx, pte.size)
+            for run in pte.writeback_runs():
+                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
+                pte.complete_writeback(run)
+                self._account_swap_out(ctx, run[1])
             self._maybe_clear_journal(ctx)
         yield self.env.timeout(self.swap.read_seconds(nbytes))
 
@@ -249,7 +260,7 @@ class MemoryManager:
         if pte.is_allocated:
             assert ctx.bound, "resident allocation implies a bound context"
             yield from ctx.vgpu.free(pte.device_ptr)
-            pte.to_copy_2swap = False
+            pte.discard_device_dirty()
             pte.on_device_released()
             self.memory_freed.notify_all()
         if pte.swap_ptr is not None:
@@ -350,9 +361,9 @@ class MemoryManager:
         now = self.env.now
         for pte in ptes:
             if pte.virtual_ptr in read_only:
-                pte.on_kernel_read(now)
+                pte.kernel_read(now)
             else:
-                pte.on_kernel_write(now)
+                pte.kernel_write(now)
         if not replaying:
             ctx.replay_journal.append(
                 KernelLaunch(
@@ -411,10 +422,10 @@ class MemoryManager:
                     if self.config.enable_intra_swap:
                         evicted = yield from self._intra_swap_one(ctx, launch_set)
                     if not evicted:
-                        remaining = sum(
-                            p.size for p in ptes if not p.is_allocated
+                        unallocated = [p.size for p in ptes if not p.is_allocated]
+                        yield from self._inter_swap(
+                            ctx, sum(unallocated), max(unallocated)
                         )
-                        yield from self._inter_swap(ctx, remaining)
                     continue
                 pte.on_device_allocated(address)
 
@@ -427,22 +438,24 @@ class MemoryManager:
             # Pipelined: enqueue every bulk transfer on the copy stream
             # before awaiting the first, so the stream worker keeps the
             # copy engine saturated back-to-back while other tenants'
-            # kernels hold the execution engine.
+            # kernels hold the execution engine.  Chunked entries enqueue
+            # one transfer per contiguous dirty run — finer pipelining
+            # units for the same total bytes.
             staged = [
-                (pte, ctx.vgpu.memcpy_h2d_async(pte.device_ptr, pte.size))
+                (pte, run, ctx.vgpu.memcpy_h2d_async(pte.device_ptr + run[0], run[1]))
                 for pte in ptes
-                if pte.to_copy_2dev
+                for run in pte.fault_runs()
             ]
-            for pte, ev in staged:
+            for pte, run, ev in staged:
                 yield ev
-                pte.on_copied_to_device()
-                self._account_swap_in(ctx, pte.size)
+                pte.complete_fault(run)
+                self._account_swap_in(ctx, run[1])
             return
         for pte in ptes:
-            if pte.to_copy_2dev:
-                yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, pte.size)
-                pte.on_copied_to_device()
-                self._account_swap_in(ctx, pte.size)
+            for run in pte.fault_runs():
+                yield from ctx.vgpu.memcpy_h2d(pte.device_ptr + run[0], run[1])
+                pte.complete_fault(run)
+                self._account_swap_in(ctx, run[1])
 
     def _patch_nested_parents(self, ctx: Context, ptes: List[PageTableEntry]) -> Generator:
         """Rewrite embedded device pointers inside nested parents whose
@@ -485,19 +498,23 @@ class MemoryManager:
             # An in-flight asynchronous write-back may target this entry.
             yield from self._drain_writebacks(ctx)
         if pte.to_copy_2swap:
-            yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
-            pte.on_copied_to_swap()
             # Accounting belongs to the write-back, not the release: a
             # clean entry moves no data, so it must observe neither the
-            # histogram nor the swap-out trace event.
-            self._account_swap_out(ctx, pte.size)
+            # histogram nor the swap-out trace event.  Chunked entries
+            # write back only their dirty runs.
+            for run in pte.writeback_runs():
+                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
+                pte.complete_writeback(run)
+                self._account_swap_out(ctx, run[1])
         yield from ctx.vgpu.free(pte.device_ptr)
         pte.on_device_released()
         pte.prefetched = False
         if notify:
             self.memory_freed.notify_all()
 
-    def _inter_swap(self, ctx: Context, required_bytes: int) -> Generator:
+    def _inter_swap(
+        self, ctx: Context, required_bytes: int, min_contiguous: int = 0
+    ) -> Generator:
         """Ask another application on the same GPU to swap (§4.5).
 
         A victim must be in a CPU phase with no pending device request,
@@ -510,6 +527,9 @@ class MemoryManager:
         if not self.config.enable_inter_swap:
             self.stats.swap_retries += 1
             raise NeedRetry(required_bytes)
+        if self.config.eviction_mode == "partial":
+            yield from self._evict_partial(ctx, required_bytes, min_contiguous)
+            return
         victim = self.find_swap_victim(ctx.vgpu.device, required_bytes, exclude=ctx)
         if victim is None:
             self.stats.swap_retries += 1
@@ -537,24 +557,102 @@ class MemoryManager:
             if other is exclude:
                 continue
             if self._victim_eligible(other, device, required_bytes):
-                # Prefer the victim wasting the most memory while idle.
-                if best is None or self.page_table.allocated_bytes(
-                    other
-                ) > self.page_table.allocated_bytes(best):
+                # Prefer the victim idle the longest: eviction order is a
+                # recency decision (the policy layer's LRU default), not
+                # an accidental most-allocated-bytes heuristic.
+                if best is None or (
+                    (other.cpu_phase_since, other.context_id)
+                    < (best.cpu_phase_since, best.context_id)
+                ):
                     best = other
         return best
 
-    def _victim_eligible(
-        self, victim: Context, device: GPUDevice, required_bytes: int
-    ) -> bool:
+    def _victim_context_eligible(self, victim: Context, device: GPUDevice) -> bool:
+        """Context-level eligibility shared by whole-context and partial
+        eviction: bound here, idle in a CPU phase, willing to share."""
         return (
             victim.bound
             and victim.vgpu.device is device
             and victim.in_cpu_phase
             and not victim.excluded_from_sharing
             and victim.state is ContextState.ASSIGNED
+        )
+
+    def _victim_eligible(
+        self, victim: Context, device: GPUDevice, required_bytes: int
+    ) -> bool:
+        return (
+            self._victim_context_eligible(victim, device)
             and self.page_table.allocated_bytes(victim) >= required_bytes
         )
+
+    def _evict_partial(
+        self, ctx: Context, required_bytes: int, min_contiguous: int = 0
+    ) -> Generator:
+        """Device-wide eviction loop (eviction_mode="partial"): free only
+        the bytes the faulting launch still needs, in the order chosen by
+        the pluggable eviction policy, across however many eligible
+        victims that takes.  Victims stay bound — they lose entries, not
+        their vGPU — so a resumed victim simply faults its data back in.
+
+        ``min_contiguous`` is the largest single allocation the requester
+        still has to place: freeing bytes is not enough if they land in
+        scattered holes, so the loop also runs until the allocator has a
+        block that large (whole-context eviction gets this for free by
+        clearing everything).
+        """
+        device = ctx.vgpu.device
+
+        def satisfied() -> bool:
+            # Memory already free counts toward the requester's need.
+            return (
+                device.allocator.free_bytes >= required_bytes
+                and device.allocator.largest_free_block >= min_contiguous
+            )
+
+        if satisfied():
+            return
+        candidates = [
+            (other, pte)
+            for other in self.bound_contexts_on(device)
+            if other is not ctx and self._victim_context_eligible(other, device)
+            for pte in self.page_table.entries_for(other)
+            if pte.is_allocated
+        ]
+        freed = 0
+        dirty_written = 0
+        touched: List[Context] = []
+        for victim, pte in self.eviction_policy.order(candidates):
+            if satisfied():
+                break
+            yield victim.lock.acquire()
+            try:
+                # Re-check under the lock: the victim may have resumed (or
+                # freed the entry) while we waited.
+                if not self._victim_context_eligible(victim, device):
+                    continue
+                if not pte.is_allocated:
+                    continue
+                dirty_written += pte.dirty_bytes()
+                yield from self._swap_entry(victim, pte)
+                freed += pte.size
+                if victim not in touched:
+                    touched.append(victim)
+                    victim.swaps_suffered += 1
+                    self.stats.swaps_inter += 1
+                self._maybe_clear_journal(victim)
+            finally:
+                victim.lock.release()
+        if freed == 0:
+            self.stats.swap_retries += 1
+            raise NeedRetry(required_bytes)
+        self.stats.evictions_partial += 1
+        self.stats.eviction_bytes_freed += freed
+        self.stats.eviction_writeback_bytes += dirty_written
+        if self.obs.enabled:
+            self.obs.eviction(
+                ctx, self.eviction_policy.name, freed, dirty_written, len(touched)
+            )
 
     def swap_out_context(self, ctx: Context, notify: bool = True) -> Generator:
         """Write back and release every resident entry of ``ctx``.
@@ -578,14 +676,14 @@ class MemoryManager:
         yield from self._drain_writebacks(ctx)
         resident = [p for p in self.page_table.entries_for(ctx) if p.is_allocated]
         staged = [
-            (pte, ctx.vgpu.memcpy_d2h_async(pte.device_ptr, pte.size))
+            (pte, run, ctx.vgpu.memcpy_d2h_async(pte.device_ptr + run[0], run[1]))
             for pte in resident
-            if pte.to_copy_2swap
+            for run in pte.writeback_runs()
         ]
-        for pte, ev in staged:
+        for pte, run, ev in staged:
             yield ev
-            pte.on_copied_to_swap()
-            self._account_swap_out(ctx, pte.size)
+            pte.complete_writeback(run)
+            self._account_swap_out(ctx, run[1])
         for pte in resident:
             yield from ctx.vgpu.free(pte.device_ptr)
             pte.on_device_released()
@@ -623,14 +721,16 @@ class MemoryManager:
             return False
         driver = dst_vgpu.driver
         for pte, old_ptr, new_ptr in moved:
-            if not pte.to_copy_2dev:
-                # Device copy is current (dirty or in sync): carry it over.
+            # Carry over the runs whose device copy is current (dirty or
+            # in sync); swap-authoritative runs stay to_copy_2dev and
+            # fault in from the host on the new device.
+            for off, nbytes in pte.device_current_runs():
                 yield from driver.memcpy_peer(
-                    src_vgpu.cuda_context, old_ptr,
-                    dst_vgpu.cuda_context, new_ptr,
-                    pte.size,
+                    src_vgpu.cuda_context, old_ptr + off,
+                    dst_vgpu.cuda_context, new_ptr + off,
+                    nbytes,
                 )
-                self.stats.p2p_bytes += pte.size
+                self.stats.p2p_bytes += nbytes
             yield from src_vgpu.free(old_ptr)
             pte.device_ptr = new_ptr
             pte.check_invariants()
@@ -652,9 +752,9 @@ class MemoryManager:
         if self.config.overlap_transfers and ctx.bound:
             yield from self._drain_writebacks(ctx)
             staged = [
-                (pte, ctx.vgpu.memcpy_d2h_async(pte.device_ptr, pte.size))
+                (pte, run, ctx.vgpu.memcpy_d2h_async(pte.device_ptr + run[0], run[1]))
                 for pte in self.page_table.entries_for(ctx)
-                if pte.to_copy_2swap
+                for run in pte.writeback_runs()
             ]
             barrier = self.env.event()
             self._pending_writebacks.setdefault(ctx, []).append(barrier)
@@ -665,11 +765,11 @@ class MemoryManager:
             return
         written = 0
         for pte in self.page_table.entries_for(ctx):
-            if pte.to_copy_2swap:
-                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr, pte.size)
-                pte.on_copied_to_swap()
-                self._account_swap_out(ctx, pte.size)
-                written += pte.size
+            for run in pte.writeback_runs():
+                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
+                pte.complete_writeback(run)
+                self._account_swap_out(ctx, run[1])
+                written += run[1]
         ctx.replay_journal.clear()
         self.stats.checkpoints += 1
         if self.obs.enabled:
@@ -678,23 +778,23 @@ class MemoryManager:
     def _finish_checkpoint(
         self,
         ctx: Context,
-        staged: List[Tuple[PageTableEntry, Event]],
+        staged: List[Tuple[PageTableEntry, Tuple[int, int], Event]],
         barrier: Event,
     ) -> Generator:
         """Completer for an asynchronous checkpoint: marks entries clean
         as their write-backs land, then clears the replay journal."""
         written = 0
         try:
-            for pte, ev in staged:
+            for pte, run, ev in staged:
                 try:
                     yield ev
                 except CudaRuntimeError:
                     # Device died mid-write-back; the swap copies already
                     # landed stay valid, recovery owns the rest.
                     return
-                pte.on_copied_to_swap()
-                self._account_swap_out(ctx, pte.size)
-                written += pte.size
+                pte.complete_writeback(run)
+                self._account_swap_out(ctx, run[1])
+                written += run[1]
             if ctx.state is not ContextState.FAILED:
                 ctx.replay_journal.clear()
                 self.stats.checkpoints += 1
@@ -717,11 +817,7 @@ class MemoryManager:
         for pte in self.page_table.entries_for(ctx):
             pte.prefetched = False
             if pte.is_allocated:
-                pte.to_copy_2swap = False
-                pte.is_allocated = False
-                pte.device_ptr = None
-                pte.to_copy_2dev = True
-                pte.check_invariants()
+                pte.drop_device_state()
 
     def replay(self, ctx: Context) -> Generator:
         """Re-execute journaled kernels after a failure rebind (§4.6:
@@ -755,7 +851,7 @@ class MemoryManager:
         """
         assert ctx.bound, "prefetch requires a bound context"
         device = ctx.vgpu.device
-        staged: List[Tuple[PageTableEntry, Event]] = []
+        staged: List[Tuple[PageTableEntry, Tuple[int, int], Event]] = []
         for vptr in vptrs:
             try:
                 pte = self.page_table.lookup(ctx, vptr)
@@ -771,17 +867,18 @@ class MemoryManager:
                         raise
                     continue
                 pte.on_device_allocated(address)
-            if pte.to_copy_2dev:
+            for run in pte.fault_runs():
                 staged.append(
-                    (pte, ctx.vgpu.memcpy_h2d_async(pte.device_ptr, pte.size))
+                    (pte, run, ctx.vgpu.memcpy_h2d_async(pte.device_ptr + run[0], run[1]))
                 )
-        for pte, ev in staged:
+        for pte, run, ev in staged:
             yield ev
-            pte.on_copied_to_device()
-            self._account_swap_in(ctx, pte.size)
-            pte.prefetched = True
-            self.stats.prefetch_issued += 1
-            self.stats.prefetch_bytes += pte.size
+            pte.complete_fault(run)
+            self._account_swap_in(ctx, run[1])
+            self.stats.prefetch_bytes += run[1]
+            if not pte.prefetched:
+                pte.prefetched = True
+                self.stats.prefetch_issued += 1
 
     # ------------------------------------------------------------------
     def release_context(self, ctx: Context) -> Generator:
@@ -793,7 +890,7 @@ class MemoryManager:
         for pte in self.page_table.entries_for(ctx):
             if pte.is_allocated and ctx.bound:
                 yield from ctx.vgpu.free(pte.device_ptr)
-                pte.to_copy_2swap = False
+                pte.discard_device_dirty()
                 pte.on_device_released()
                 released_device_memory = True
             if pte.swap_ptr is not None:

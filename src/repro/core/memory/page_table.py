@@ -20,17 +20,24 @@ rejects anything else (exercised by the property tests).
 
 As the paper notes, "page" is a slight misnomer: allocations are not
 carved into fixed-size pages — each entry covers a whole allocation.
+That coarseness is optionally refined by *chunking*
+(``RuntimeConfig.swap_chunk_bytes``): a large entry is split into
+fixed-size :class:`Chunk` slices, each obeying the Figure 4 state
+machine individually, so a partially written buffer stages/faults/writes
+back only the chunks that actually hold (or dirtied) data.  The entry
+keeps one device allocation — chunks refine *transfer* granularity, not
+device placement — and its flags become the OR over its chunks.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import RuntimeApiError, RuntimeErrorCode
 
-__all__ = ["EntryType", "PageTableEntry", "PageTable", "VIRTUAL_BASE"]
+__all__ = ["Chunk", "EntryType", "PageTableEntry", "PageTable", "VIRTUAL_BASE"]
 
 #: Virtual addresses live far away from simulated device addresses so
 #: that passing one where the other is expected is caught immediately.
@@ -56,6 +63,33 @@ class EntryType(enum.Enum):
 _entry_seq = itertools.count(1)
 
 
+class Chunk:
+    """One fixed-size slice of a chunked allocation (demand-paging unit).
+
+    ``valid``
+        the chunk holds application data somewhere (swap or device);
+        a never-written chunk needs no transfer in either direction.
+    ``to_copy_2dev`` / ``to_copy_2swap``
+        the Figure 4 flags, per chunk: at most one may be set, and an
+        invalid chunk carries neither.
+    """
+
+    __slots__ = ("offset", "size", "valid", "to_copy_2dev", "to_copy_2swap")
+
+    def __init__(self, offset: int, size: int):
+        self.offset = offset
+        self.size = size
+        self.valid = False
+        self.to_copy_2dev = False
+        self.to_copy_2swap = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<Chunk +0x{self.offset:x} size={self.size} V={int(self.valid)} "
+            f"D={int(self.to_copy_2dev)} S={int(self.to_copy_2swap)}>"
+        )
+
+
 class PageTableEntry:
     """One allocation's translation + state."""
 
@@ -71,8 +105,11 @@ class PageTableEntry:
         "params",
         "nested",
         "last_use",
+        "use_count",
+        "referenced",
         "seq",
         "prefetched",
+        "chunks",
     )
 
     def __init__(
@@ -94,25 +131,52 @@ class PageTableEntry:
         #: Nested-structure descriptor (None for flat allocations).
         self.nested = None
         #: Simulated time of the last launch referencing this entry
-        #: (victim choice for intra-application swap).
+        #: (victim choice for intra-application swap and LRU eviction).
         self.last_use = 0.0
+        #: Launches that referenced this entry (LFU eviction).
+        self.use_count = 0
+        #: Referenced bit, set on every launch use and cleared by the
+        #: second-chance eviction policy's clock sweep.
+        self.referenced = False
         self.seq = next(_entry_seq)
         #: Set by the overlap engine when a CPU-phase prefetch staged this
         #: entry; the next launch referencing it counts a prefetch hit.
         self.prefetched = False
+        #: Demand-paging chunks (None = whole-entry granularity).
+        self.chunks: Optional[List[Chunk]] = None
 
     # -- state machine (Figure 4) --------------------------------------
     @property
     def flags(self):
         return (self.is_allocated, self.to_copy_2dev, self.to_copy_2swap)
 
+    @property
+    def chunked(self) -> bool:
+        return self.chunks is not None
+
     def check_invariants(self) -> None:
-        if self.flags not in _LEGAL_STATES:
-            raise AssertionError(f"illegal PTE state {self.flags} for {self!r}")
         if self.is_allocated and self.device_ptr is None:
             raise AssertionError(f"allocated PTE without device pointer: {self!r}")
         if not self.is_allocated and self.device_ptr is not None:
             raise AssertionError(f"unallocated PTE with device pointer: {self!r}")
+        if self.chunks is None:
+            if self.flags not in _LEGAL_STATES:
+                raise AssertionError(f"illegal PTE state {self.flags} for {self!r}")
+            return
+        # Chunked entry: every chunk individually obeys Figure 4, and the
+        # entry flags are the OR over the chunks (so a mixed aggregate —
+        # one chunk host-newer, another device-newer — is legal).
+        for c in self.chunks:
+            if c.to_copy_2dev and c.to_copy_2swap:
+                raise AssertionError(f"illegal chunk state {c!r} in {self!r}")
+            if not c.valid and (c.to_copy_2dev or c.to_copy_2swap):
+                raise AssertionError(f"invalid chunk with data flags {c!r} in {self!r}")
+            if c.to_copy_2swap and not self.is_allocated:
+                raise AssertionError(f"device-dirty chunk without device memory {c!r}")
+        if self.to_copy_2dev != any(c.to_copy_2dev for c in self.chunks) or (
+            self.to_copy_2swap != any(c.to_copy_2swap for c in self.chunks)
+        ):
+            raise AssertionError(f"entry flags out of sync with chunks: {self!r}")
 
     def on_host_write(self) -> None:
         """copy_HD intercepted: the swap copy is now authoritative."""
@@ -135,13 +199,13 @@ class PageTableEntry:
         """A launch referenced this entry as writable."""
         assert self.is_allocated and not self.to_copy_2dev
         self.to_copy_2swap = True
-        self.last_use = now
+        self._touch(now)
         self.check_invariants()
 
     def on_kernel_read(self, now: float) -> None:
         """A launch referenced this entry read-only."""
         assert self.is_allocated and not self.to_copy_2dev
-        self.last_use = now
+        self._touch(now)
         self.check_invariants()
 
     def on_copied_to_swap(self) -> None:
@@ -154,8 +218,186 @@ class PageTableEntry:
         assert not self.to_copy_2swap, "must write back before releasing"
         self.is_allocated = False
         self.device_ptr = None
-        self.to_copy_2dev = True
+        if self.chunks is None:
+            self.to_copy_2dev = True
+        else:
+            for c in self.chunks:
+                if c.valid:
+                    c.to_copy_2dev = True
+            self._sync_flags()
         self.check_invariants()
+
+    def _touch(self, now: float) -> None:
+        """Recency/frequency bookkeeping shared by every launch use."""
+        self.last_use = now
+        self.use_count += 1
+        self.referenced = True
+
+    # -- chunked granularity (demand-paged swapping) --------------------
+    def configure_chunks(self, chunk_bytes: int) -> None:
+        """Split the entry into fixed-size chunks (the last may be short).
+
+        Must be called before any data movement; entries at or below one
+        chunk stay whole-entry (chunking them would only add bookkeeping).
+        """
+        assert self.swap_ptr is None and self.flags == (False, False, False)
+        if chunk_bytes <= 0 or self.size <= chunk_bytes:
+            return
+        self.chunks = [
+            Chunk(offset, min(chunk_bytes, self.size - offset))
+            for offset in range(0, self.size, chunk_bytes)
+        ]
+
+    def _sync_flags(self) -> None:
+        assert self.chunks is not None
+        self.to_copy_2dev = any(c.to_copy_2dev for c in self.chunks)
+        self.to_copy_2swap = any(c.to_copy_2swap for c in self.chunks)
+
+    @staticmethod
+    def _coalesce(chunks: Iterable[Chunk]) -> List[Tuple[int, int]]:
+        """Merge adjacent chunks into contiguous (offset, nbytes) runs."""
+        runs: List[Tuple[int, int]] = []
+        for c in chunks:
+            if runs and runs[-1][0] + runs[-1][1] == c.offset:
+                runs[-1] = (runs[-1][0], runs[-1][1] + c.size)
+            else:
+                runs.append((c.offset, c.size))
+        return runs
+
+    def _chunks_in(self, run: Tuple[int, int]) -> List[Chunk]:
+        offset, nbytes = run
+        assert self.chunks is not None
+        return [c for c in self.chunks if offset <= c.offset < offset + nbytes]
+
+    def host_write(self, nbytes: Optional[int] = None) -> None:
+        """copy_HD intercepted for ``[0, nbytes)``: the swap copy of the
+        covered range is now authoritative.  Whole-entry granularity
+        ignores the extent (the paper's behavior)."""
+        if self.chunks is None:
+            self.on_host_write()
+            return
+        covered = self.size if nbytes is None else min(nbytes, self.size)
+        for c in self.chunks:
+            if c.offset < covered:
+                c.valid = True
+                c.to_copy_2dev = True
+                c.to_copy_2swap = False
+        self._sync_flags()
+        self.check_invariants()
+
+    def kernel_write(self, now: float) -> None:
+        """A launch referenced this entry as writable.
+
+        Chunked: the kernel computed on the data the application put
+        there, so the *valid* chunks become device-dirty; a buffer with
+        no valid chunk is an output buffer the kernel populates entirely.
+        """
+        if self.chunks is None:
+            self.on_kernel_write(now)
+            return
+        assert self.is_allocated and not self.to_copy_2dev
+        if not any(c.valid for c in self.chunks):
+            for c in self.chunks:
+                c.valid = True
+                c.to_copy_2swap = True
+        else:
+            for c in self.chunks:
+                if c.valid:
+                    c.to_copy_2swap = True
+        self._touch(now)
+        self._sync_flags()
+        self.check_invariants()
+
+    def kernel_read(self, now: float) -> None:
+        if self.chunks is None:
+            self.on_kernel_read(now)
+            return
+        assert self.is_allocated and not self.to_copy_2dev
+        self._touch(now)
+        self.check_invariants()
+
+    def fault_runs(self) -> List[Tuple[int, int]]:
+        """Contiguous (offset, nbytes) H2D transfers needed before the
+        device copy is current.  Whole-entry: one run covering the
+        allocation, or none."""
+        if self.chunks is None:
+            return [(0, self.size)] if self.to_copy_2dev else []
+        return self._coalesce(c for c in self.chunks if c.to_copy_2dev)
+
+    def complete_fault(self, run: Tuple[int, int]) -> None:
+        """One fault run's bulk transfer landed on the device."""
+        assert self.is_allocated
+        if self.chunks is None:
+            self.on_copied_to_device()
+            return
+        for c in self._chunks_in(run):
+            c.to_copy_2dev = False
+        self._sync_flags()
+        self.check_invariants()
+
+    def writeback_runs(self) -> List[Tuple[int, int]]:
+        """Contiguous (offset, nbytes) D2H write-backs of device-dirty
+        data (eviction, checkpoint, device→host reads)."""
+        if self.chunks is None:
+            return [(0, self.size)] if self.to_copy_2swap else []
+        return self._coalesce(c for c in self.chunks if c.to_copy_2swap)
+
+    def complete_writeback(self, run: Tuple[int, int]) -> None:
+        """One write-back run landed in the swap area."""
+        if self.chunks is None:
+            self.on_copied_to_swap()
+            return
+        for c in self._chunks_in(run):
+            c.to_copy_2swap = False
+        self._sync_flags()
+        self.check_invariants()
+
+    def device_current_runs(self) -> List[Tuple[int, int]]:
+        """Runs whose device copy is current (peer-to-peer migration)."""
+        if self.chunks is None:
+            return [(0, self.size)] if not self.to_copy_2dev else []
+        return self._coalesce(
+            c for c in self.chunks if c.valid and not c.to_copy_2dev
+        )
+
+    def discard_device_dirty(self) -> None:
+        """Drop device-dirty state without writing back (cudaFree)."""
+        if self.chunks is None:
+            self.to_copy_2swap = False
+            return
+        for c in self.chunks:
+            c.to_copy_2swap = False
+        self._sync_flags()
+
+    def drop_device_state(self) -> None:
+        """The device copy is lost (device failure): swap-resident data
+        becomes authoritative, without any device operation."""
+        self.is_allocated = False
+        self.device_ptr = None
+        if self.chunks is None:
+            self.to_copy_2swap = False
+            self.to_copy_2dev = True
+        else:
+            for c in self.chunks:
+                c.to_copy_2swap = False
+                if c.valid:
+                    c.to_copy_2dev = True
+            self._sync_flags()
+        self.check_invariants()
+
+    def fault_bytes(self) -> int:
+        """Bytes a launch must transfer before this entry is current."""
+        return sum(n for _off, n in self.fault_runs())
+
+    def dirty_bytes(self) -> int:
+        """Bytes an eviction of this entry would write back."""
+        return sum(n for _off, n in self.writeback_runs())
+
+    def valid_bytes(self) -> int:
+        """Bytes of application data behind the entry."""
+        if self.chunks is None:
+            return self.size
+        return sum(c.size for c in self.chunks if c.valid)
 
     def __repr__(self) -> str:
         return (

@@ -9,7 +9,6 @@ memory (48 GB on the paper's testbed); exhausting it is the Table 1
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict
 
 from repro.core.errors import RuntimeApiError, RuntimeErrorCode
@@ -17,6 +16,7 @@ from repro.core.errors import RuntimeApiError, RuntimeErrorCode
 __all__ = ["SwapArea"]
 
 _SWAP_BASE = 0x5000_0000_0000
+_SWAP_ALIGN = 0x1_0000
 
 
 class SwapArea:
@@ -29,7 +29,7 @@ class SwapArea:
         self.host_memcpy_bps = float(host_memcpy_bps)
         self._used = 0
         self._allocs: Dict[int, int] = {}
-        self._cursor = itertools.count()
+        self._next_ptr = _SWAP_BASE
         self.peak_used = 0
 
     # ------------------------------------------------------------------
@@ -52,7 +52,10 @@ class SwapArea:
                 RuntimeErrorCode.SWAP_ALLOCATION_FAILED,
                 f"need {size}, free {self.free_bytes}",
             )
-        ptr = _SWAP_BASE + next(self._cursor) * 0x1_0000_0000
+        # Bump-pointer from the previous block's end: a fixed stride would
+        # let blocks larger than it alias the next block's address range.
+        ptr = self._next_ptr
+        self._next_ptr = -(-(ptr + size) // _SWAP_ALIGN) * _SWAP_ALIGN
         self._allocs[ptr] = size
         self._used += size
         self.peak_used = max(self.peak_used, self._used)

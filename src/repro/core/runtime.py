@@ -81,6 +81,10 @@ class NodeRuntime:
                            fn=self.load_per_vgpu)
         self.metrics.gauge("swap_used_bytes", "host swap-area occupancy",
                            fn=lambda: self.memory.swap.used_bytes)
+        self.metrics.gauge("swap_area_used_bytes", "host swap-area bytes allocated",
+                           fn=lambda: self.memory.swap.used_bytes)
+        self.metrics.gauge("swap_area_peak_bytes", "high-water mark of swap-area occupancy",
+                           fn=lambda: self.memory.swap.peak_used)
         self.metrics.gauge("copy_exec_overlap_seconds",
                            "seconds the copy and exec engines ran concurrently",
                            fn=lambda: sum(d.copy_exec_overlap_seconds

@@ -31,6 +31,12 @@ class RuntimeStats:
     swap_bytes_in: int = 0
     #: Launch attempts that found no memory and no victim (unbind+retry).
     swap_retries: int = 0
+    #: Device-wide partial evictions (eviction_mode="partial"): loop
+    #: invocations, bytes of device memory they freed, and dirty bytes
+    #: they had to write back to free them.
+    evictions_partial: int = 0
+    eviction_bytes_freed: int = 0
+    eviction_writeback_bytes: int = 0
     #: Job migrations between devices (dynamic binding, Figure 9).
     migrations: int = 0
     #: Migrations that used direct GPU-to-GPU transfers (CUDA 4.0, §4.8).

@@ -19,6 +19,7 @@ from repro.obs.events import (
     CheckpointTaken,
     EngineSpan,
     EVENT_TYPES,
+    Eviction,
     FailureRecovered,
     Migration,
     Offload,
@@ -56,6 +57,7 @@ __all__ = [
     "CheckpointTaken",
     "EngineSpan",
     "EVENT_TYPES",
+    "Eviction",
     "FailureRecovered",
     "Migration",
     "Offload",

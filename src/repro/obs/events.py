@@ -25,6 +25,7 @@ __all__ = [
     "EngineSpan",
     "SwapOut",
     "SwapIn",
+    "Eviction",
     "Bind",
     "Unbind",
     "Migration",
@@ -114,6 +115,23 @@ class SwapIn:
     nbytes: int
     device_id: Optional[int] = None
     vgpu: Optional[str] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Eviction:
+    """One device-wide partial eviction resolved a launch's memory
+    pressure: the policy freed ``bytes_freed`` across ``victims``
+    contexts, writing back ``dirty_bytes`` of device-dirty data."""
+
+    kind: ClassVar[str] = "Eviction"
+    at: float
+    context: str          # the requester whose launch triggered it
+    policy: str
+    bytes_freed: int
+    dirty_bytes: int
+    victims: int = 0
+    device_id: Optional[int] = None
     node: str = ""
 
 
@@ -208,6 +226,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     EngineSpan,
     SwapOut,
     SwapIn,
+    Eviction,
     Bind,
     Unbind,
     Migration,
@@ -352,6 +371,25 @@ class Tracer:
                 nbytes=nbytes,
                 device_id=device_id,
                 vgpu=vgpu,
+                node=self.node,
+            )
+        )
+
+    def eviction(
+        self, ctx, policy: str, bytes_freed: int, dirty_bytes: int, victims: int
+    ) -> None:
+        if not self.enabled:
+            return
+        device_id, _vgpu = _ctx_location(ctx)
+        self.emit(
+            Eviction(
+                at=self.env.now,
+                context=ctx.owner,
+                policy=policy,
+                bytes_freed=bytes_freed,
+                dirty_bytes=dirty_bytes,
+                victims=victims,
+                device_id=device_id,
                 node=self.node,
             )
         )

@@ -22,6 +22,7 @@ from repro.obs.events import (
     CallEnd,
     CheckpointTaken,
     EngineSpan,
+    Eviction,
     FailureRecovered,
     Migration,
     Offload,
@@ -47,6 +48,7 @@ __all__ = [
 _INSTANT_KINDS = (
     SwapOut,
     SwapIn,
+    Eviction,
     Bind,
     Unbind,
     Migration,

@@ -55,6 +55,25 @@ def test_distinct_pointers():
     assert swap.allocate(MIB) != swap.allocate(MIB)
 
 
+def test_blocks_never_overlap():
+    """Regression: a fixed per-block stride let blocks larger than the
+    stride alias the next block's address range."""
+    swap = SwapArea(16 * 1024**3)
+    sizes = [6 * 1024**3, 5 * 1024**3, MIB, 3 * MIB]
+    blocks = sorted((swap.allocate(s), s) for s in sizes)
+    for (ptr, size), (next_ptr, _next_size) in zip(blocks, blocks[1:]):
+        assert ptr + size <= next_ptr, (
+            f"block [0x{ptr:x}, +{size}) overlaps block at 0x{next_ptr:x}"
+        )
+
+
+def test_huge_block_then_neighbor_distinct_ranges():
+    swap = SwapArea(10 * 1024**3)
+    big = swap.allocate(5 * 1024**3)  # > the old 4 GiB stride
+    small = swap.allocate(MIB)
+    assert small >= big + 5 * 1024**3
+
+
 def test_transfer_timing_helpers():
     swap = SwapArea(100 * MIB, host_memcpy_bps=8e9)
     assert swap.write_seconds(8_000_000_000) == pytest.approx(1.0)

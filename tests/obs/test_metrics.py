@@ -27,6 +27,9 @@ EXPECTED_STATS_KEYS = {
     "swap_bytes_out",
     "swap_bytes_in",
     "swap_retries",
+    "evictions_partial",
+    "eviction_bytes_freed",
+    "eviction_writeback_bytes",
     "migrations",
     "migrations_p2p",
     "p2p_bytes",
