@@ -19,6 +19,8 @@ import sys
 from typing import Dict, List
 
 from repro.core.config import RuntimeConfig
+from repro.core.memory.eviction import EVICTION_POLICY_NAMES
+from repro.core.policies import POLICY_NAMES
 from repro.experiments.harness import run_node_batch
 from repro.obs import ObsCollector
 from repro.experiments.report import format_table
@@ -149,6 +151,8 @@ def cmd_run(args) -> int:
             eviction_mode=args.eviction_mode,
             eviction_policy=args.eviction_policy,
             tracing=bool(args.trace_out),
+            qos_enabled=args.qos,
+            vgpu_quantum_s=args.vgpu_quantum_s,
         )
     result = run_node_batch(jobs, args.gpus, config, label="cli",
                             collector=collector)
@@ -202,8 +206,7 @@ def main(argv=None) -> int:
     run.add_argument("--gpus", type=_parse_gpus, default=[TESLA_C2050],
                      help="comma list of presets (default: c2050)")
     run.add_argument("--vgpus", type=int, default=4)
-    run.add_argument("--policy", default="fcfs",
-                     choices=("fcfs", "sjf", "credit", "edf"))
+    run.add_argument("--policy", default="fcfs", choices=POLICY_NAMES)
     run.add_argument("--cpu-fraction", type=float, default=0.0,
                      help="injected CPU fraction for MM-S/MM-L")
     run.add_argument("--bare", action="store_true",
@@ -223,8 +226,15 @@ def main(argv=None) -> int:
                      help="inter-application eviction: whole-context swap "
                           "or byte-proportional partial eviction")
     run.add_argument("--eviction-policy", default="lru",
-                     choices=("lru", "lfu", "second_chance", "cost_aware"),
+                     choices=EVICTION_POLICY_NAMES,
                      help="victim ordering for --eviction-mode=partial")
+    run.add_argument("--qos", action="store_true",
+                     help="enable multi-tenant QoS (admission control, "
+                          "tenant quotas, vGPU shares)")
+    run.add_argument("--vgpu-quantum-s", type=float, default=None,
+                     metavar="S",
+                     help="preempt a bound context at call boundaries after "
+                          "S seconds of GPU time when others wait")
     run.add_argument("--prefetch", action="store_true",
                      help="stage the predicted next-launch working set "
                           "during CPU phases (needs --overlap)")

@@ -117,6 +117,33 @@ class RuntimeConfig:
         event bus for Chrome-trace / JSON-lines export.  Off by default;
         when off the instrumentation hooks are single-attribute-check
         no-ops and simulated times are bit-identical to an untraced run.
+    qos_enabled:
+        Multi-tenant QoS (:mod:`repro.qos`): admission control, tenant
+        memory quotas and the vGPU-share gate.  Off by default — the
+        tenant registry still exists (connections may name a tenant for
+        accounting) but nothing is enforced, so behavior is identical to
+        a QoS-less runtime.
+    vgpu_quantum_s:
+        Preemptive time-slicing: a bound context that has accumulated
+        this many GPU seconds since binding is unbound at its next call
+        boundary *if* other contexts are waiting for a vGPU (the §4.4
+        dynamic-binding machinery makes the unbind cheap and safe).
+        ``None`` (default) disables preemption.
+    admission_mode:
+        What happens when admission control refuses a connection:
+        ``"queue"`` (default) blocks the handshake until a slot frees
+        (backpressure); ``"reject"`` fails it immediately with a typed
+        ``ADMISSION_REJECTED`` error.
+    admission_max_contexts:
+        Node-wide cap on concurrently admitted contexts (None = no cap).
+    admission_max_footprint_bytes:
+        Node-wide cap on the summed ``estimated_bytes`` handshake hints
+        of admitted contexts (None = no cap).
+    listener_backlog:
+        Bound on the listener's accept backlog: a ``connect()`` arriving
+        while this many connections are already queued un-accepted fails
+        fast with ``ConnectionRefusedError`` instead of waiting forever.
+        ``None`` (default) keeps the historic unbounded behavior.
     max_failed_rebind_attempts:
         How many times a failed context is rebound to another device
         before the error is propagated to the application.
@@ -144,6 +171,12 @@ class RuntimeConfig:
     kernel_consolidation: bool = False
     dispatcher_overhead_s: float = 30e-6
     tracing: bool = False
+    qos_enabled: bool = False
+    vgpu_quantum_s: Optional[float] = None
+    admission_mode: str = "queue"
+    admission_max_contexts: Optional[int] = None
+    admission_max_footprint_bytes: Optional[int] = None
+    listener_backlog: Optional[int] = None
     max_failed_rebind_attempts: int = 3
     #: The paper's nodes have 48 GB of host memory (§5.1); the swap area
     #: may use essentially all of it.
@@ -151,22 +184,32 @@ class RuntimeConfig:
     host_memcpy_bps: float = 8e9
 
     def __post_init__(self) -> None:
+        # Validate policy names against the live registries (imported
+        # lazily to keep config import-cycle free) so a newly registered
+        # policy can never silently diverge from a hand-maintained tuple.
+        from repro.core.memory.eviction import EVICTION_POLICY_NAMES
+        from repro.core.policies import POLICY_NAMES
+
         if self.vgpus_per_device < 1:
             raise ValueError("vgpus_per_device must be >= 1")
-        if self.policy not in ("fcfs", "sjf", "credit", "edf"):
+        if self.policy not in POLICY_NAMES:
             raise ValueError(f"unknown policy {self.policy!r}")
         if self.swap_chunk_bytes < 0:
             raise ValueError("swap_chunk_bytes must be >= 0")
         if self.eviction_mode not in ("context", "partial"):
             raise ValueError(f"unknown eviction_mode {self.eviction_mode!r}")
-        # Literal tuple rather than the registry in repro.core.memory.eviction
-        # to keep config import-cycle free.
-        if self.eviction_policy not in ("lru", "lfu", "second_chance", "cost_aware"):
+        if self.eviction_policy not in EVICTION_POLICY_NAMES:
             raise ValueError(f"unknown eviction policy {self.eviction_policy!r}")
         if self.swap_retry_backoff_s < 0:
             raise ValueError("swap_retry_backoff_s must be >= 0")
         if self.max_failed_rebind_attempts < 0:
             raise ValueError("max_failed_rebind_attempts must be >= 0")
+        if self.vgpu_quantum_s is not None and self.vgpu_quantum_s <= 0:
+            raise ValueError("vgpu_quantum_s must be positive (or None)")
+        if self.admission_mode not in ("queue", "reject"):
+            raise ValueError(f"unknown admission_mode {self.admission_mode!r}")
+        if self.listener_backlog is not None and self.listener_backlog < 1:
+            raise ValueError("listener_backlog must be >= 1 (or None)")
 
     def serialized(self) -> "RuntimeConfig":
         """A copy configured for serialized execution (1 vGPU/device)."""

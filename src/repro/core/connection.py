@@ -9,7 +9,7 @@ inter-node offloader) dequeue them.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.sim import Environment, FifoQueue
 from repro.net.socket import Listener, Socket
@@ -20,9 +20,14 @@ __all__ = ["ConnectionManager"]
 class ConnectionManager:
     """Accepts connections and maintains the pending-connections list."""
 
-    def __init__(self, env: Environment, name: str = "runtime"):
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "runtime",
+        backlog_limit: Optional[int] = None,
+    ):
         self.env = env
-        self.listener = Listener(env, name=name)
+        self.listener = Listener(env, name=name, backlog_limit=backlog_limit)
         #: Pending connections (server-side sockets) awaiting a
         #: dispatcher thread.
         self.pending: FifoQueue = FifoQueue(env)

@@ -77,6 +77,15 @@ class Context:
         self.deadline_s: Optional[float] = None
         #: GPU seconds consumed so far (credit-based policy).
         self.gpu_seconds_used = 0.0
+        #: Tenant this connection belongs to (repro.qos); None for
+        #: tenant-less connections — all QoS enforcement skips those.
+        self.tenant: Optional[Any] = None
+        #: Handshake hint: expected peak allocation footprint in bytes,
+        #: consumed by the admission controller's node-wide budget.
+        self.estimated_bytes: Optional[int] = None
+        #: GPU seconds consumed since the current binding (reset by
+        #: VirtualGPU.bind); drives quantum-expiry preemption.
+        self.quantum_used_s = 0.0
         #: True when kernels use device-side dynamic allocation: the
         #: context is served but excluded from sharing/dynamic scheduling.
         self.excluded_from_sharing = False

@@ -169,10 +169,65 @@ class Dispatcher:
             yield from sock.send(resp, nbytes=resp.wire_bytes)
             if req.method == CallType.EXIT:
                 return
+            if self._quantum_exhausted(ctx):
+                # Preemptive time-slicing (repro.qos): the context burned
+                # its vGPU quantum while others queue — unbind it at this
+                # call boundary (delayed binding makes that safe, §4.4)
+                # and let the policy re-order who goes next.
+                yield from self._preempt(ctx)
             # The application is back in a CPU phase: a faster idle GPU
             # may now claim it (dynamic binding, §5.3.4).
             self.runtime.migration.maybe_migrate(ctx)
             self._maybe_prefetch(ctx)
+
+    # ------------------------------------------------------------------
+    # preemptive time-slicing (repro.qos)
+    # ------------------------------------------------------------------
+    def _quantum_exhausted(self, ctx: Context) -> bool:
+        quantum = self.config.vgpu_quantum_s
+        return (
+            quantum is not None
+            and ctx.bound
+            and ctx.state is ContextState.ASSIGNED
+            and not ctx.excluded_from_sharing
+            and ctx.quantum_used_s >= quantum
+            and self.scheduler.waiting_count > 0
+        )
+
+    def _preempt(self, ctx: Context) -> Generator:
+        """Unbind a quantum-expired context at a call boundary.
+
+        Same lock-acquire-and-recheck discipline as the CPU-phase reaper
+        and migration: the context may have exited, failed, or been
+        swapped out by someone else while we queued for its lock.
+        """
+        yield ctx.lock.acquire()
+        try:
+            if not (
+                ctx.bound
+                and ctx.in_cpu_phase
+                and ctx.state is ContextState.ASSIGNED
+                and self.scheduler.waiting_count > 0
+            ):
+                return
+            vgpu = ctx.vgpu
+            used = ctx.quantum_used_s
+            # In-flight overlap-engine write-backs target this context's
+            # device memory; they must land before swap-out releases it
+            # (swap_out_context drains too, but an explicit barrier here
+            # keeps the invariant even if that path changes).
+            yield from self.memory._drain_writebacks(ctx)
+            yield from self.memory.swap_out_context(ctx)
+            self.scheduler.release(ctx, "quantum expired")
+            self.stats.preemptions += 1
+            if ctx.tenant is not None:
+                ctx.tenant.preemptions += 1
+            if self.obs.enabled:
+                self.obs.preemption(
+                    ctx, vgpu, self.config.vgpu_quantum_s, used
+                )
+        finally:
+            ctx.lock.release()
 
     # ------------------------------------------------------------------
     # overlap engine: CPU-phase prefetch (§4.5 "overlap computation and
@@ -230,6 +285,18 @@ class Dispatcher:
             ctx.estimated_gpu_seconds = args.get("estimated_gpu_seconds")
             ctx.application_id = args.get("application_id")
             ctx.deadline_s = args.get("deadline_s")
+            ctx.estimated_bytes = args.get("estimated_bytes")
+            tenant_name = args.get("tenant")
+            if tenant_name:
+                ctx.tenant = self.runtime.qos.get_or_create(tenant_name)
+            # Admission control (repro.qos): the gate sits here, at the
+            # first moment tenant identity is known — a rejected
+            # handshake surfaces as a typed error on Frontend.open(),
+            # a queued one blocks until a slot frees.  The slot is
+            # returned in _exit.
+            yield from self.runtime.admission.admit(ctx)
+            if ctx.tenant is not None:
+                ctx.tenant.attach(ctx)
             return None, 0
 
         if method in REGISTRATION_CALLS:
@@ -433,5 +500,8 @@ class Dispatcher:
             self.scheduler.release(ctx, "exit")
         else:
             self.scheduler.cancel_wait(ctx)
+        self.runtime.admission.release(ctx)
+        if ctx.tenant is not None:
+            ctx.tenant.detach(ctx)
         ctx.state = ContextState.DONE
         ctx.finished_at = self.env.now

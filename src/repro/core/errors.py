@@ -25,6 +25,10 @@ class RuntimeErrorCode(enum.Enum):
     KERNEL_FOOTPRINT_TOO_LARGE = "Kernel working set exceeds every device's capacity"
     CONTEXT_FAILED = "Context failed and could not be recovered"
     NESTED_NOT_REGISTERED = "Nested structure used without registration"
+    # Multi-tenant QoS (repro.qos): surfaced through the handshake and
+    # allocation paths instead of letting one tenant degrade the node.
+    ADMISSION_REJECTED = "Connection rejected by admission control"
+    TENANT_QUOTA_EXCEEDED = "Tenant resource quota exceeded"
 
 
 class RuntimeApiError(Exception):

@@ -37,6 +37,8 @@ class Frontend:
         estimated_gpu_seconds: Optional[float] = None,
         application_id: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        tenant: Optional[str] = None,
+        estimated_bytes: Optional[int] = None,
     ):
         self.env = env
         self._listener = listener
@@ -48,6 +50,11 @@ class Frontend:
         self.application_id = application_id
         #: QoS hint: absolute completion deadline in simulated seconds.
         self.deadline_s = deadline_s
+        #: Tenant this connection belongs to (repro.qos); admission
+        #: control, quotas and wfq scheduling key on it server-side.
+        self.tenant = tenant
+        #: Admission hint: expected peak allocation footprint in bytes.
+        self.estimated_bytes = estimated_bytes
         self._rpc: Optional[RpcClient] = None
 
     # ------------------------------------------------------------------
@@ -61,6 +68,8 @@ class Frontend:
             estimated_gpu_seconds=self.estimated_gpu_seconds,
             application_id=self.application_id,
             deadline_s=self.deadline_s,
+            tenant=self.tenant,
+            estimated_bytes=self.estimated_bytes,
         )
 
     @property

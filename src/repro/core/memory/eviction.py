@@ -26,11 +26,16 @@ eviction loop walks that order until enough bytes are free.
     Cheapest eviction first: minimize dirty-bytes-to-write-back per byte
     freed (a clean entry frees memory without moving any data), with LRU
     as the tie-break.
+``quota_aware``
+    Multi-tenant QoS layer over LRU (repro.qos): entries of tenants
+    running *over* their device-memory quota are evicted first (most
+    overcommitted tenant first), so memory pressure lands on whoever
+    exceeded their contract before touching compliant tenants.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.memory.page_table import PageTableEntry
 
@@ -40,6 +45,7 @@ __all__ = [
     "LfuEviction",
     "SecondChanceEviction",
     "CostAwareEviction",
+    "QuotaAwareEviction",
     "EVICTION_POLICY_NAMES",
     "make_eviction_policy",
 ]
@@ -132,9 +138,39 @@ class CostAwareEviction(EvictionPolicy):
         )
 
 
+class QuotaAwareEviction(EvictionPolicy):
+    """Over-quota tenants' entries first, LRU within a tier.
+
+    ``overage_fn(ctx) -> bytes`` reports how far a candidate context's
+    tenant currently sits above its device-memory quota (0 for compliant
+    tenants, tenant-less contexts, or when QoS is off); the memory
+    manager wires it after construction.  Candidates sort by descending
+    overage, then LRU — with everyone compliant the ordering degrades to
+    exactly :class:`LruEviction`.
+    """
+
+    name = "quota_aware"
+
+    def __init__(self) -> None:
+        self.overage_fn: Optional[Callable[[Any], int]] = None
+
+    def order(self, candidates: List[Candidate]) -> List[Candidate]:
+        overage = self.overage_fn or (lambda ctx: 0)
+        return sorted(
+            candidates,
+            key=lambda c: (-overage(c[0]), c[1].last_use, c[1].seq),
+        )
+
+
 _POLICIES = {
     p.name: p
-    for p in (LruEviction, LfuEviction, SecondChanceEviction, CostAwareEviction)
+    for p in (
+        LruEviction,
+        LfuEviction,
+        SecondChanceEviction,
+        CostAwareEviction,
+        QuotaAwareEviction,
+    )
 }
 
 EVICTION_POLICY_NAMES: Tuple[str, ...] = tuple(sorted(_POLICIES))

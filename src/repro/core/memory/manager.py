@@ -80,6 +80,10 @@ class MemoryManager:
         self.swap = SwapArea(config.host_swap_capacity_bytes, config.host_memcpy_bps)
         #: Victim ordering for partial (device-wide) eviction.
         self.eviction_policy = make_eviction_policy(config.eviction_policy)
+        if hasattr(self.eviction_policy, "overage_fn"):
+            # quota_aware ordering (repro.qos): over-quota tenants'
+            # entries become everyone's preferred victims.
+            self.eviction_policy.overage_fn = self._tenant_overage
         #: parent virtual ptr -> registration
         self.nested: Dict[int, NestedStructure] = {}
         #: Wired by the runtime: unbind a context after an inter-app swap.
@@ -150,6 +154,22 @@ class MemoryManager:
             raise RuntimeApiError(
                 RuntimeErrorCode.SWAP_ALLOCATION_FAILED, f"invalid size {size}"
             )
+        tenant = getattr(ctx, "tenant", None)
+        if (
+            self.config.qos_enabled
+            and tenant is not None
+            and tenant.swap_quota_bytes is not None
+        ):
+            # Every allocation is swap backed, so the swap quota caps the
+            # tenant's total footprint at allocation time — before any
+            # device or swap-area resource is consumed.
+            used = tenant.swap_bytes(self.page_table)
+            if used + size > tenant.swap_quota_bytes:
+                raise RuntimeApiError(
+                    RuntimeErrorCode.TENANT_QUOTA_EXCEEDED,
+                    f"tenant {tenant.name!r}: {used} + {size} bytes exceeds "
+                    f"the {tenant.swap_quota_bytes}-byte swap quota",
+                )
         pte = self.page_table.create_entry(ctx, size, entry_type, params)
         pte.configure_chunks(self.config.swap_chunk_bytes)
         try:
@@ -333,6 +353,11 @@ class MemoryManager:
                     # the bulk transfer below is already done.
                     self.stats.prefetch_hits += 1
 
+        if self.config.qos_enabled:
+            # Device-memory quota (repro.qos): a launch that would push
+            # its tenant over quota evicts the tenant's *own* entries
+            # first, before _ensure_resident may pressure other tenants.
+            yield from self._enforce_tenant_quota(ctx, ptes)
         yield from self._ensure_resident(ctx, ptes)
         yield from self._perform_deferred_transfers(ctx, ptes)
         yield from self._patch_nested_parents(ctx, ptes)
@@ -378,6 +403,9 @@ class MemoryManager:
         self.stats.kernels_launched += 1
         ctx.kernels_launched += 1
         ctx.gpu_seconds_used += duration
+        ctx.quantum_used_s += duration
+        if ctx.tenant is not None:
+            ctx.tenant.gpu_seconds_used += duration
         return duration
 
     def _usable_bytes(self, device: GPUDevice) -> int:
@@ -653,6 +681,104 @@ class MemoryManager:
             self.obs.eviction(
                 ctx, self.eviction_policy.name, freed, dirty_written, len(touched)
             )
+
+    # ------------------------------------------------------------------
+    # tenant quotas (repro.qos)
+    # ------------------------------------------------------------------
+    def _tenant_overage(self, ctx: Context) -> int:
+        """Bytes the context's tenant currently sits above its device
+        quota (0 when compliant, tenant-less, or QoS is off) — the
+        quota_aware eviction ordering's key."""
+        tenant = getattr(ctx, "tenant", None)
+        if (
+            not self.config.qos_enabled
+            or tenant is None
+            or tenant.device_quota_bytes is None
+        ):
+            return 0
+        return max(0, tenant.device_bytes(self.page_table) - tenant.device_quota_bytes)
+
+    def _enforce_tenant_quota(
+        self, ctx: Context, ptes: List[PageTableEntry]
+    ) -> Generator:
+        """Evict the offending tenant's own entries until the upcoming
+        launch fits its device quota.
+
+        Candidates are the requester's own resident entries outside the
+        launch's working set, plus resident entries of the tenant's
+        *other* contexts that are eviction-eligible (idle in a CPU
+        phase), LRU-ordered across all of them.  The quota is soft at
+        the working-set level: if the launch's working set alone exceeds
+        it, the launch still runs once every evictable entry is gone —
+        the overage then makes the tenant the quota_aware ordering's
+        preferred victim for everyone else's faults.
+        """
+        tenant = ctx.tenant
+        if tenant is None or tenant.device_quota_bytes is None:
+            return
+        launch_set = {p.virtual_ptr for p in ptes}
+        incoming = sum(p.size for p in ptes if not p.is_allocated)
+
+        def overage() -> int:
+            return (
+                tenant.device_bytes(self.page_table)
+                + incoming
+                - tenant.device_quota_bytes
+            )
+
+        if overage() <= 0:
+            return
+        candidates: List[Tuple[Context, PageTableEntry]] = []
+        for member in list(tenant.contexts):
+            if member is ctx:
+                candidates += [
+                    (member, p)
+                    for p in self.page_table.entries_for(member)
+                    if p.is_allocated and p.virtual_ptr not in launch_set
+                ]
+            elif member.bound and self._victim_context_eligible(
+                member, member.vgpu.device
+            ):
+                candidates += [
+                    (member, p)
+                    for p in self.page_table.entries_for(member)
+                    if p.is_allocated
+                ]
+        freed = 0
+        dirty_written = 0
+        for victim, pte in sorted(candidates, key=lambda c: (c[1].last_use, c[1].seq)):
+            if overage() <= 0:
+                break
+            if victim is ctx:
+                # The caller already holds its own lock (handler path).
+                if not pte.is_allocated:
+                    continue
+                dirty_written += pte.dirty_bytes()
+                yield from self._swap_entry(ctx, pte, notify=False)
+                freed += pte.size
+            else:
+                yield victim.lock.acquire()
+                try:
+                    # Re-check under the lock: the sibling may have
+                    # resumed (or freed the entry) while we waited.
+                    if not self._victim_context_eligible(
+                        victim, victim.vgpu.device if victim.bound else None
+                    ):
+                        continue
+                    if not pte.is_allocated:
+                        continue
+                    dirty_written += pte.dirty_bytes()
+                    yield from self._swap_entry(victim, pte)
+                    freed += pte.size
+                    self._maybe_clear_journal(victim)
+                finally:
+                    victim.lock.release()
+        if freed:
+            self.stats.quota_evictions += 1
+            self.stats.quota_eviction_bytes += freed
+            self._maybe_clear_journal(ctx)
+            if self.obs.enabled:
+                self.obs.eviction(ctx, "tenant_quota", freed, dirty_written, 1)
 
     def swap_out_context(self, ctx: Context, notify: bool = True) -> Generator:
         """Write back and release every resident entry of ``ctx``.

@@ -53,6 +53,7 @@ def node_report(runtime: NodeRuntime) -> Dict[str, object]:
         "load_per_vgpu": runtime.load_per_vgpu(),
         "free_memory_bytes": {d.device_id: d.free_memory for d in devices},
         "swap_used_bytes": runtime.memory.swap.used_bytes,
+        "tenants": runtime.qos.rollup(runtime.memory.page_table),
         "metrics": runtime.metrics.snapshot(),
     }
 

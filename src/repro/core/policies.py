@@ -23,14 +23,23 @@ Three policies from the paper's discussion are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.context import Context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.vgpu import VirtualGPU
 
-__all__ = ["SchedulingPolicy", "FcfsPolicy", "SjfPolicy", "CreditPolicy", "make_policy"]
+__all__ = [
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "SjfPolicy",
+    "CreditPolicy",
+    "DeadlinePolicy",
+    "WeightedFairPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
 
 
 class SchedulingPolicy:
@@ -153,7 +162,44 @@ class DeadlinePolicy(_BasePolicy):
         )
 
 
-_POLICIES = {p.name: p for p in (FcfsPolicy, SjfPolicy, CreditPolicy, DeadlinePolicy)}
+class WeightedFairPolicy(_BasePolicy):
+    """Weighted-fair queueing across *tenants* (repro.qos).
+
+    Each tenant's accumulated GPU seconds are normalized by its weight
+    (the wfq virtual time); the waiting context whose tenant has the
+    smallest normalized usage goes first, so a weight-2 tenant receives
+    twice the GPU time of a weight-1 tenant under contention.  Within a
+    tenant (and for contexts with no tenant, which compete at weight
+    1.0 on their own usage) the credit rule breaks ties: least GPU time
+    consumed first, then FCFS.
+    """
+
+    name = "wfq"
+
+    @staticmethod
+    def _virtual_time(ctx: Context) -> float:
+        tenant = getattr(ctx, "tenant", None)
+        if tenant is not None:
+            return tenant.normalized_gpu_seconds()
+        return ctx.gpu_seconds_used
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        return min(
+            waiting,
+            key=lambda c: (self._virtual_time(c), c.gpu_seconds_used, c.context_id),
+        )
+
+
+_POLICIES = {
+    p.name: p
+    for p in (FcfsPolicy, SjfPolicy, CreditPolicy, DeadlinePolicy, WeightedFairPolicy)
+}
+
+#: Registered policy names — the single source for CLI choices and
+#: config validation (do not hand-maintain copies of this tuple).
+POLICY_NAMES: Tuple[str, ...] = tuple(sorted(_POLICIES))
 
 
 def make_policy(name: str) -> SchedulingPolicy:

@@ -26,6 +26,7 @@ from repro.core.policies import make_policy
 from repro.core.scheduler import Scheduler
 from repro.core.stats import RuntimeStats
 from repro.obs import MetricsRegistry, Tracer
+from repro.qos import AdmissionController, TenantRegistry
 
 __all__ = ["NodeRuntime"]
 
@@ -60,8 +61,18 @@ class NodeRuntime:
             env, self.config, driver, make_policy(self.config.policy), self.stats,
             obs=self.obs, metrics=self.metrics,
         )
-        self.connections = ConnectionManager(env, name=self.name)
+        self.connections = ConnectionManager(
+            env, name=self.name, backlog_limit=self.config.listener_backlog
+        )
         self.connections.obs = self.obs
+        #: Multi-tenant QoS (repro.qos): tenant registry + admission
+        #: control.  Always constructed; both are inert no-ops until
+        #: ``config.qos_enabled`` / a tenant name arrives on a handshake.
+        self.qos = TenantRegistry()
+        self.qos.on_register = self._on_tenant_registered
+        self.admission = AdmissionController(
+            env, self.config, self.qos, stats=self.stats, obs=self.obs
+        )
         self.dispatcher = Dispatcher(self)
         self.migration = MigrationManager(self)
         self.offloader = OffloadManager(self)
@@ -89,6 +100,12 @@ class NodeRuntime:
                            "seconds the copy and exec engines ran concurrently",
                            fn=lambda: sum(d.copy_exec_overlap_seconds
                                           for d in self.driver.devices))
+        self.metrics.gauge("listener_backlog", "un-accepted connections on the listener",
+                           fn=lambda: self.connections.listener.backlog)
+        self.metrics.gauge("listener_refused", "connections refused by the accept backlog",
+                           fn=lambda: self.connections.listener.refused)
+        self.metrics.gauge("admitted_contexts", "contexts past admission control",
+                           fn=lambda: self.admission.admitted_count)
         # (call_latency_seconds / queue_wait_seconds / swap_*_bytes
         # histograms are created by the dispatcher, scheduler and memory
         # manager against this same registry.)
@@ -177,6 +194,21 @@ class NodeRuntime:
     # ------------------------------------------------------------------
     def _unbind_after_inter_swap(self, victim: Context, reason: str) -> None:
         self.scheduler.release(victim, reason)
+
+    def _on_tenant_registered(self, tenant) -> None:
+        """Per-tenant observability: callback gauges so exports and
+        node_report() always see live usage without push updates."""
+        slug = "".join(c if c.isalnum() else "_" for c in tenant.name)
+        self.metrics.gauge(
+            f"tenant_gpu_seconds_{slug}",
+            f"GPU seconds consumed by tenant {tenant.name}",
+            fn=lambda t=tenant: t.gpu_seconds_used,
+        )
+        self.metrics.gauge(
+            f"tenant_mem_bytes_{slug}",
+            f"device memory held by tenant {tenant.name}",
+            fn=lambda t=tenant: t.device_bytes(self.memory.page_table),
+        )
 
     def _on_engine_span(
         self, device: GPUDevice, engine: str, op: str, nbytes: int,

@@ -184,6 +184,26 @@ class Scheduler:
             return idle
         return [v for v in idle if v.device is device]
 
+    def _share_capped(self, ctx: Context) -> bool:
+        """vGPU-share gate (repro.qos): True when the context's tenant
+        already holds its configured fraction of the node's vGPUs
+        (rounded up to at least one) — the context must wait even if a
+        vGPU is idle, leaving headroom for other tenants."""
+        tenant = getattr(ctx, "tenant", None)
+        if (
+            not self.config.qos_enabled
+            or tenant is None
+            or tenant.vgpu_share is None
+        ):
+            return False
+        cap = max(1, int(tenant.vgpu_share * self.total_vgpus))
+        held = sum(
+            1
+            for c in self.bound_contexts()
+            if getattr(c, "tenant", None) is tenant
+        )
+        return held >= cap
+
     def request_binding(self, ctx: Context, front: bool = False) -> Generator:
         """Block until ``ctx`` is bound to a vGPU.
 
@@ -203,7 +223,7 @@ class Scheduler:
                 f"no healthy device to bind {ctx.owner}",
             )
         idle = self._satisfying_idle(ctx, self.idle_vgpus())
-        if idle and not self._waiting:
+        if idle and not self._waiting and not self._share_capped(ctx):
             self._queue_wait.observe(0.0)
             self._bind(ctx, self._choose_vgpu(ctx, idle))
             return
@@ -272,6 +292,11 @@ class Scheduler:
                 ctx = self.policy.pick_next(candidates)
                 if ctx is None:
                     return
+                if self._share_capped(ctx):
+                    # Tenant at its vGPU share: like an unsatisfiable
+                    # affinity, it must not block other waiters.
+                    candidates.remove(ctx)
+                    continue
                 usable = self._satisfying_idle(ctx, idle)
                 if usable:
                     self._waiting.remove(ctx)

@@ -87,6 +87,10 @@ class VirtualGPU:
         self.bound_context = ctx
         self._bound_at = self.env.now
         ctx.vgpu = self
+        # Time-slicing (repro.qos): the quantum covers one binding, so it
+        # restarts here — the single choke point every bind path crosses
+        # (scheduler grant, migration, recovery).
+        ctx.quantum_used_s = 0.0
         if self.obs is not None and self.obs.enabled:
             self.obs.bind(ctx, self)
 

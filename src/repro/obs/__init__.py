@@ -23,9 +23,11 @@ from repro.obs.events import (
     FailureRecovered,
     Migration,
     Offload,
+    Preemption,
     QueueDepthChanged,
     SwapIn,
     SwapOut,
+    TenantAdmission,
     Tracer,
     Unbind,
     event_to_dict,
@@ -61,9 +63,11 @@ __all__ = [
     "FailureRecovered",
     "Migration",
     "Offload",
+    "Preemption",
     "QueueDepthChanged",
     "SwapIn",
     "SwapOut",
+    "TenantAdmission",
     "Tracer",
     "Unbind",
     "event_to_dict",

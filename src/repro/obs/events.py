@@ -32,6 +32,8 @@ __all__ = [
     "Offload",
     "CheckpointTaken",
     "FailureRecovered",
+    "TenantAdmission",
+    "Preemption",
     "QueueDepthChanged",
     "EVENT_TYPES",
     "Tracer",
@@ -209,6 +211,36 @@ class FailureRecovered:
 
 
 @dataclasses.dataclass(frozen=True)
+class TenantAdmission:
+    """Admission control decided on a connection's handshake: admitted
+    (possibly after queueing ``waited_s``), queued, or rejected."""
+
+    kind: ClassVar[str] = "TenantAdmission"
+    at: float
+    context: str
+    tenant: str
+    decision: str        # "admitted" | "queued" | "rejected"
+    waited_s: float = 0.0
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Preemption:
+    """A context exhausted its vGPU quantum while others waited and was
+    unbound at a call boundary (repro.qos time-slicing)."""
+
+    kind: ClassVar[str] = "Preemption"
+    at: float
+    context: str
+    vgpu: str
+    quantum_s: float
+    used_s: float
+    tenant: str = ""
+    device_id: Optional[int] = None
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class QueueDepthChanged:
     """A runtime queue (waiting contexts, pending connections, socket
     inbox) changed depth."""
@@ -233,6 +265,8 @@ EVENT_TYPES: Tuple[type, ...] = (
     Offload,
     CheckpointTaken,
     FailureRecovered,
+    TenantAdmission,
+    Preemption,
     QueueDepthChanged,
 )
 
@@ -471,6 +505,38 @@ class Tracer:
                 context=ctx.owner,
                 replayed_kernels=replayed_kernels,
                 device_id=device_id,
+                node=self.node,
+            )
+        )
+
+    def tenant_admission(
+        self, ctx, tenant: str, decision: str, waited_s: float = 0.0
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            TenantAdmission(
+                at=self.env.now,
+                context=ctx.owner,
+                tenant=tenant,
+                decision=decision,
+                waited_s=waited_s,
+                node=self.node,
+            )
+        )
+
+    def preemption(self, ctx, vgpu, quantum_s: float, used_s: float) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            Preemption(
+                at=self.env.now,
+                context=ctx.owner,
+                vgpu=vgpu.name,
+                quantum_s=quantum_s,
+                used_s=used_s,
+                tenant=getattr(getattr(ctx, "tenant", None), "name", ""),
+                device_id=vgpu.device.device_id,
                 node=self.node,
             )
         )

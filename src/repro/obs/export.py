@@ -26,9 +26,11 @@ from repro.obs.events import (
     FailureRecovered,
     Migration,
     Offload,
+    Preemption,
     QueueDepthChanged,
     SwapIn,
     SwapOut,
+    TenantAdmission,
     Unbind,
     event_to_dict,
 )
@@ -55,6 +57,8 @@ _INSTANT_KINDS = (
     Offload,
     CheckpointTaken,
     FailureRecovered,
+    TenantAdmission,
+    Preemption,
     QueueDepthChanged,
 )
 

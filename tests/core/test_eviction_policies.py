@@ -26,7 +26,7 @@ def _pte(size=MIB, last_use=0.0, use_count=0, referenced=False, chunk=0):
 
 def test_registry_names_and_factory():
     assert EVICTION_POLICY_NAMES == (
-        "cost_aware", "lfu", "lru", "second_chance"
+        "cost_aware", "lfu", "lru", "quota_aware", "second_chance"
     )
     for name in EVICTION_POLICY_NAMES:
         assert make_eviction_policy(name).name == name

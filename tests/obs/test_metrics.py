@@ -47,6 +47,11 @@ EXPECTED_STATS_KEYS = {
     "bad_calls_detected",
     "bindings",
     "unbindings",
+    "admission_rejects",
+    "admission_queued",
+    "preemptions",
+    "quota_evictions",
+    "quota_eviction_bytes",
 }
 
 

@@ -1,0 +1,16 @@
+"""Shared builders for multi-tenant QoS tests (repro.qos)."""
+
+import pytest
+
+from tests.core.conftest import Harness
+
+MIB = 1024**2
+GIB = 1024**3
+
+
+@pytest.fixture
+def harness():
+    return Harness()
+
+
+__all__ = ["Harness", "MIB", "GIB"]

@@ -1,0 +1,172 @@
+"""Admission control at the handshake (repro.qos.admission)."""
+
+import pytest
+
+from repro.core import Frontend, RuntimeConfig
+from repro.core.errors import RuntimeApiError, RuntimeErrorCode
+from repro.qos import Tenant
+
+from tests.qos.conftest import Harness, MIB
+
+
+def _open_app(h, name, tenant=None, estimated_bytes=None, hold_s=1.0, results=None):
+    """Open, idle for ``hold_s``, exit.  Records open/finish times."""
+
+    def app():
+        fe = Frontend(
+            h.env, h.runtime.listener, name=name,
+            tenant=tenant, estimated_bytes=estimated_bytes,
+        )
+        yield from fe.open()
+        if results is not None:
+            results[name] = {"opened": h.env.now}
+        yield h.env.timeout(hold_s)
+        yield from fe.cuda_thread_exit()
+        if results is not None:
+            results[name]["finished"] = h.env.now
+
+    return h.spawn(app(), name=name)
+
+
+def _open_expect_reject(h, name, tenant, errors, estimated_bytes=None):
+    def app():
+        fe = Frontend(
+            h.env, h.runtime.listener, name=name,
+            tenant=tenant, estimated_bytes=estimated_bytes,
+        )
+        try:
+            yield from fe.open()
+        except RuntimeApiError as exc:
+            errors[name] = exc
+
+    return h.spawn(app(), name=name)
+
+
+def test_reject_mode_bounces_over_cap_connection():
+    h = Harness(config=RuntimeConfig(qos_enabled=True, admission_mode="reject"))
+    tenant = h.runtime.qos.register(Tenant("gold", max_concurrent_contexts=1))
+    results, errors = {}, {}
+    _open_app(h, "a1", tenant="gold", hold_s=2.0, results=results)
+
+    def late():
+        yield h.env.timeout(0.5)  # while a1 still holds its slot
+        _open_expect_reject(h, "a2", "gold", errors)
+
+    h.spawn(late())
+    h.run()
+    assert "finished" in results["a1"]
+    assert errors["a2"].code is RuntimeErrorCode.ADMISSION_REJECTED
+    assert h.stats.admission_rejects == 1
+    assert tenant.admission_rejects == 1
+    # The rejected context never joined the tenant's live list.
+    assert tenant.contexts == []
+
+
+def test_queue_mode_blocks_until_slot_frees():
+    h = Harness(config=RuntimeConfig(qos_enabled=True, admission_mode="queue"))
+    h.runtime.qos.register(Tenant("gold", max_concurrent_contexts=1))
+    results = {}
+    _open_app(h, "a1", tenant="gold", hold_s=2.0, results=results)
+
+    def late():
+        yield h.env.timeout(0.5)
+        _open_app(h, "a2", tenant="gold", hold_s=0.1, results=results)
+
+    h.spawn(late())
+    h.run()
+    # a2's handshake waited for a1's exit before completing.
+    assert results["a2"]["opened"] >= results["a1"]["finished"]
+    assert h.stats.admission_queued == 1
+    assert h.stats.admission_rejects == 0
+
+
+def test_node_wide_context_cap_spans_tenants():
+    h = Harness(config=RuntimeConfig(
+        qos_enabled=True, admission_mode="reject", admission_max_contexts=2,
+    ))
+    results, errors = {}, {}
+    _open_app(h, "a1", tenant="t1", hold_s=2.0, results=results)
+    _open_app(h, "a2", tenant="t2", hold_s=2.0, results=results)
+
+    def late():
+        yield h.env.timeout(0.5)
+        _open_expect_reject(h, "a3", "t3", errors)
+
+    h.spawn(late())
+    h.run()
+    assert errors["a3"].code is RuntimeErrorCode.ADMISSION_REJECTED
+
+
+def test_footprint_budget_counts_estimated_bytes():
+    h = Harness(config=RuntimeConfig(
+        qos_enabled=True, admission_mode="reject",
+        admission_max_footprint_bytes=100 * MIB,
+    ))
+    results, errors = {}, {}
+    _open_app(h, "big", tenant="t", estimated_bytes=80 * MIB, hold_s=2.0,
+              results=results)
+
+    def late():
+        yield h.env.timeout(0.5)
+        # 80 + 30 > 100: over budget.
+        _open_expect_reject(h, "too-big", "t", errors, estimated_bytes=30 * MIB)
+        # Undeclared footprints count zero and are admitted.
+        _open_app(h, "undeclared", tenant="t", hold_s=0.1, results=results)
+
+    h.spawn(late())
+    h.run()
+    assert errors["too-big"].code is RuntimeErrorCode.ADMISSION_REJECTED
+    assert "finished" in results["undeclared"]
+
+
+def test_qos_disabled_ignores_caps():
+    """Default config: tenants may be named but nothing is enforced."""
+    h = Harness()  # qos_enabled=False
+    h.runtime.qos.register(Tenant("gold", max_concurrent_contexts=1))
+    results = {}
+    _open_app(h, "a1", tenant="gold", hold_s=1.0, results=results)
+    _open_app(h, "a2", tenant="gold", hold_s=1.0, results=results)
+    h.run()
+    # Both opened immediately, concurrently, with no queueing.
+    assert results["a1"]["opened"] < 0.5
+    assert results["a2"]["opened"] < 0.5
+    assert h.stats.admission_rejects == 0
+    assert h.stats.admission_queued == 0
+
+
+def test_tenantless_connections_bypass_admission():
+    h = Harness(config=RuntimeConfig(
+        qos_enabled=True, admission_mode="reject", admission_max_contexts=1,
+    ))
+    results = {}
+    _open_app(h, "a1", hold_s=1.0, results=results)
+    _open_app(h, "a2", hold_s=1.0, results=results)
+    h.run()
+    assert "finished" in results["a1"] and "finished" in results["a2"]
+    assert h.runtime.admission.admitted_count == 0
+
+
+def test_admission_events_and_gauge(harness):
+    h = Harness(config=RuntimeConfig(
+        qos_enabled=True, admission_mode="queue", tracing=True,
+    ))
+    h.runtime.qos.register(Tenant("gold", max_concurrent_contexts=1))
+    results = {}
+    _open_app(h, "a1", tenant="gold", hold_s=1.0, results=results)
+
+    def late():
+        yield h.env.timeout(0.2)
+        _open_app(h, "a2", tenant="gold", hold_s=0.1, results=results)
+
+    h.spawn(late())
+    h.run()
+    from repro.obs import TenantAdmission
+
+    events = h.runtime.obs.events_of(TenantAdmission)
+    decisions = [e.decision for e in events]
+    assert decisions.count("admitted") == 2
+    assert decisions.count("queued") == 1
+    waited = [e for e in events if e.decision == "admitted" and e.waited_s > 0]
+    assert len(waited) == 1 and waited[0].context == "a2"
+    # All slots returned at exit.
+    assert h.runtime.admission.admitted_count == 0
