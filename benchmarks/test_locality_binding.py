@@ -1,0 +1,175 @@
+"""Locality-aware dynamic binding vs stock FCFS under rebind churn.
+
+Four jobs with 512 MiB working sets time-share two single-vGPU ~2 GiB
+devices.  Every job alternates short read-mostly kernels with CPU
+phases; the CPU-phase reaper unbinds whoever lingers while others wait,
+so each job is unbound and rebound many times over the run.  Two
+configurations:
+
+``fcfs``
+    The stock runtime: every unbind swaps the working set out, every
+    rebind lands wherever the load heuristic points and faults the full
+    512 MiB back in through the swap area.
+``locality``
+    The transfer-cost model drives ordering and placement
+    (``policy="locality"`` + ``locality_binding=True``): unbinds retain
+    the device copy as a cache, and rebinds prefer the vGPU whose
+    device already holds the job's data — a same-vGPU rebind skips the
+    fault-in entirely.
+
+Writes ``BENCH_locality.json``.  The tentpole claim: locality beats
+FCFS on *both* makespan and total bytes moved through the swap area.
+"""
+
+import json
+
+from repro.cluster.jobs import Job
+from repro.core import RuntimeConfig
+from repro.core.frontend import Frontend
+from repro.experiments.report import format_table
+from repro.experiments.harness import run_node_batch
+from repro.simcuda import GPUSpec
+from repro.simcuda.fatbin import FatBinary
+from repro.simcuda.kernels import KernelDescriptor
+
+MIB = 1024**2
+
+BENCH_GPU = GPUSpec(
+    name="BenchGPU",
+    sm_count=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    memory_bytes=2048 * MIB,
+)
+
+JOBS = 4
+DEVICES = 2
+WORKING_SET_MIB = 512
+ROUNDS = 6
+KERNEL_S = 0.03
+CPU_PHASE_S = 0.18
+#: Staggered arrivals keep the waiting list non-trivial from the start.
+ARRIVAL_STEP_S = 0.05
+#: Aggressive reaping maximises rebind churn — the regime the cost
+#: model is for.  Identical in both configurations.
+REAP_AFTER_S = 0.05
+
+
+def make_job(index):
+    name = f"churn{index}"
+
+    def body(node):
+        if index:
+            yield from node.cpu_phase(index * ARRIVAL_STEP_S)
+        fe = Frontend(node.env, node.runtime.listener, name=name)
+        yield from fe.open()
+        k = KernelDescriptor(
+            name="scan", flops=KERNEL_S * BENCH_GPU.effective_gflops * 1e9
+        )
+        fb = FatBinary()
+        handle = yield from fe.register_fat_binary(fb)
+        yield from fe.register_function(handle, k)
+        buf = yield from fe.cuda_malloc(WORKING_SET_MIB * MIB)
+        yield from fe.cuda_memcpy_h2d(buf, WORKING_SET_MIB * MIB)
+        for _ in range(ROUNDS):
+            # Read-mostly iteration: after the first write-back the
+            # working set stays clean, so retention costs nothing.
+            yield from fe.launch_kernel(k, [buf], read_only=[buf])
+            yield from node.cpu_phase(CPU_PHASE_S)
+        yield from fe.cuda_memcpy_d2h(buf, WORKING_SET_MIB * MIB)
+        yield from fe.cuda_free(buf)
+        yield from fe.cuda_thread_exit()
+
+    return Job(name, body, tag="CHURN")
+
+
+def _config(locality):
+    kwargs = dict(
+        vgpus_per_device=1,
+        unbind_on_cpu_phase_s=REAP_AFTER_S,
+    )
+    if locality:
+        kwargs.update(policy="locality", locality_binding=True)
+    return RuntimeConfig(**kwargs)
+
+
+def _run(locality):
+    jobs = [make_job(i) for i in range(JOBS)]
+    return run_node_batch(jobs, [BENCH_GPU] * DEVICES, _config(locality))
+
+
+def _swap_total(result):
+    return result.stats["swap_bytes_in"] + result.stats["swap_bytes_out"]
+
+
+def test_locality_binding_beats_fcfs_on_makespan_and_swap_traffic(once):
+    def experiment():
+        return {"fcfs": _run(locality=False), "locality": _run(locality=True)}
+
+    results = once(experiment)
+    for name, result in results.items():
+        assert result.errors == 0, f"{name}: {result.errors} job errors"
+
+    fcfs = results["fcfs"]
+    loc = results["locality"]
+
+    print(
+        f"\n== Locality-aware binding: {JOBS} x {WORKING_SET_MIB} MiB jobs "
+        f"churning over {DEVICES} vGPUs ==\n"
+        + format_table(
+            ["config", "makespan (s)", "swap in (MiB)", "swap out (MiB)",
+             "locality hits", "MiB avoided"],
+            [
+                [
+                    name,
+                    f"{r.total_time:.2f}",
+                    f"{r.stats['swap_bytes_in'] / MIB:.0f}",
+                    f"{r.stats['swap_bytes_out'] / MIB:.0f}",
+                    str(r.stats.get("locality_hits", 0)),
+                    f"{r.stats.get('locality_bytes_avoided', 0) / MIB:.0f}",
+                ]
+                for name, r in results.items()
+            ],
+        )
+    )
+
+    # The tentpole claim: better on BOTH axes, not a trade.
+    assert loc.total_time < fcfs.total_time, (
+        f"locality makespan {loc.total_time:.2f}s not below "
+        f"fcfs {fcfs.total_time:.2f}s"
+    )
+    assert _swap_total(loc) < _swap_total(fcfs)
+    # And via the intended mechanism, not by accident.
+    assert loc.stats["locality_hits"] >= 1
+    assert loc.stats["locality_bytes_avoided"] >= WORKING_SET_MIB * MIB
+    assert fcfs.stats["locality_hits"] == 0
+
+    with open("BENCH_locality.json", "w") as fh:
+        json.dump(
+            {
+                "workload": {
+                    "jobs": JOBS,
+                    "devices": DEVICES,
+                    "working_set_mib": WORKING_SET_MIB,
+                    "rounds": ROUNDS,
+                    "kernel_s": KERNEL_S,
+                    "cpu_phase_s": CPU_PHASE_S,
+                    "reap_after_s": REAP_AFTER_S,
+                    "gpu_memory_mib": BENCH_GPU.memory_bytes // MIB,
+                },
+                "makespan_s": {
+                    "fcfs": fcfs.total_time, "locality": loc.total_time,
+                },
+                "swap_bytes": {
+                    "fcfs": _swap_total(fcfs), "locality": _swap_total(loc),
+                },
+                "swap_reduction": 1.0 - _swap_total(loc) / _swap_total(fcfs),
+                "speedup": fcfs.total_time / loc.total_time,
+                "locality_hits": loc.stats["locality_hits"],
+                "locality_bytes_avoided": loc.stats["locality_bytes_avoided"],
+                "locality_reclaims": loc.stats.get("locality_reclaims", 0),
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")

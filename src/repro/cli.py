@@ -21,6 +21,7 @@ from typing import Dict, List
 from repro.core.config import RuntimeConfig
 from repro.core.memory.eviction import EVICTION_POLICY_NAMES
 from repro.core.policies import POLICY_NAMES
+from repro.simcuda.allocator import PLACEMENT_MODES
 from repro.experiments.harness import run_node_batch
 from repro.obs import ObsCollector
 from repro.experiments.report import format_table
@@ -153,6 +154,9 @@ def cmd_run(args) -> int:
             tracing=bool(args.trace_out),
             qos_enabled=args.qos,
             vgpu_quantum_s=args.vgpu_quantum_s,
+            locality_binding=args.locality,
+            migration_penalty_s=args.migration_penalty_s,
+            allocator_placement=args.allocator,
         )
     result = run_node_batch(jobs, args.gpus, config, label="cli",
                             collector=collector)
@@ -235,6 +239,17 @@ def main(argv=None) -> int:
                      metavar="S",
                      help="preempt a bound context at call boundaries after "
                           "S seconds of GPU time when others wait")
+    run.add_argument("--locality", action="store_true",
+                     help="locality-aware dynamic binding: retain device "
+                          "working sets across unbinds and place/migrate/"
+                          "evict by the transfer-cost model")
+    run.add_argument("--migration-penalty-s", type=float, default=0.02,
+                     metavar="S",
+                     help="sticky-affinity hysteresis: modeled penalty "
+                          "charged for moving off the affinity device")
+    run.add_argument("--allocator", default="first_fit",
+                     choices=PLACEMENT_MODES,
+                     help="device-memory placement: first_fit or best_fit")
     run.add_argument("--prefetch", action="store_true",
                      help="stage the predicted next-launch working set "
                           "during CPU phases (needs --overlap)")

@@ -144,6 +144,29 @@ class RuntimeConfig:
         while this many connections are already queued un-accepted fails
         fast with ``ConnectionRefusedError`` instead of waiting forever.
         ``None`` (default) keeps the historic unbounded behavior.
+    locality_binding:
+        Locality-aware dynamic binding (§4.4 + the transfer-cost model in
+        :mod:`repro.core.memory.costmodel`).  When enabled: (a) unbinds
+        driven by the vGPU quantum or the CPU-phase reaper *retain* the
+        context's device allocations as a clean residency cache instead
+        of freeing them (write-back still happens, so the swap copy stays
+        authoritative); (b) rebinding to the caching vGPU revives the
+        cache in place and skips the fault-in, while binding anywhere
+        else drops it; (c) other contexts under memory pressure reclaim
+        idle caches before evicting live victims; (d) vGPU selection,
+        migration, and ``cost_aware`` partial eviction all consult the
+        modeled transfer cost.  Off by default — behavior (and simulated
+        times) are identical to a cache-less runtime.
+    migration_penalty_s:
+        Sticky-affinity hysteresis for the cost model: the modeled extra
+        cost charged to binding or migrating a context away from the
+        device holding its residency cache.  Prevents ping-pong when two
+        devices score nearly equal.
+    allocator_placement:
+        Device-memory placement strategy, applied to every device's
+        :class:`~repro.simcuda.allocator.DeviceAllocator`: ``first_fit``
+        (default, the historic behavior) or ``best_fit`` (smallest block
+        that fits; reduces fragmentation on mixed-size churn).
     max_failed_rebind_attempts:
         How many times a failed context is rebound to another device
         before the error is propagated to the application.
@@ -177,6 +200,9 @@ class RuntimeConfig:
     admission_max_contexts: Optional[int] = None
     admission_max_footprint_bytes: Optional[int] = None
     listener_backlog: Optional[int] = None
+    locality_binding: bool = False
+    migration_penalty_s: float = 0.02
+    allocator_placement: str = "first_fit"
     max_failed_rebind_attempts: int = 3
     #: The paper's nodes have 48 GB of host memory (§5.1); the swap area
     #: may use essentially all of it.
@@ -210,6 +236,15 @@ class RuntimeConfig:
             raise ValueError(f"unknown admission_mode {self.admission_mode!r}")
         if self.listener_backlog is not None and self.listener_backlog < 1:
             raise ValueError("listener_backlog must be >= 1 (or None)")
+        if self.migration_penalty_s < 0:
+            raise ValueError("migration_penalty_s must be >= 0")
+        from repro.simcuda.allocator import PLACEMENT_MODES
+
+        if self.allocator_placement not in PLACEMENT_MODES:
+            raise ValueError(
+                f"unknown allocator_placement {self.allocator_placement!r}; "
+                f"choose from {PLACEMENT_MODES}"
+            )
 
     def serialized(self) -> "RuntimeConfig":
         """A copy configured for serialized execution (1 vGPU/device)."""

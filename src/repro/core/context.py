@@ -89,6 +89,14 @@ class Context:
         #: True when kernels use device-side dynamic allocation: the
         #: context is served but excluded from sharing/dynamic scheduling.
         self.excluded_from_sharing = False
+        #: Locality retention (§4.4 cost-driven binding): the vGPU whose
+        #: CUDA context still owns this context's device allocations
+        #: after an unbind-with-retain.  Rebinding to this exact vGPU
+        #: revives the cache; binding anywhere else must drop it first.
+        self.cache_vgpu: Optional["VirtualGPU"] = None
+        #: Consecutive times the locality policy passed this waiter over
+        #: for a younger waiter with better locality (starvation guard).
+        self.locality_skips = 0
         #: Pending kernel configuration (cudaConfigureCall).
         self.pending_config: Optional[Any] = None
         #: Counters.

@@ -217,7 +217,13 @@ class Dispatcher:
             # (swap_out_context drains too, but an explicit barrier here
             # keeps the invariant even if that path changes).
             yield from self.memory._drain_writebacks(ctx)
-            yield from self.memory.swap_out_context(ctx)
+            if self.config.locality_binding:
+                # Retention unbind: write dirty chunks back but leave the
+                # device copy cached, so a rebind to the same vGPU skips
+                # the re-fault entirely (§4.4 locality-aware binding).
+                yield from self.memory.unbind_retain(ctx)
+            else:
+                yield from self.memory.swap_out_context(ctx)
             self.scheduler.release(ctx, "quantum expired")
             self.stats.preemptions += 1
             if ctx.tenant is not None:

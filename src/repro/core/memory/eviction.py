@@ -123,11 +123,23 @@ class CostAwareEviction(EvictionPolicy):
     A clean entry costs nothing to evict (release only); a fully dirty
     chunked entry costs its dirty chunks; an unchunked dirty entry costs
     its whole size.  Ties break LRU-first.
+
+    When the runtime wires ``cost_fn(ctx, pte) -> seconds`` (the
+    transfer-cost model, under ``locality_binding``), the ordering uses
+    the *modeled* eviction cost instead — write-back seconds now plus
+    the recency-discounted re-fault seconds later — so eviction, binding
+    and migration all price a byte of data movement consistently.
     """
 
     name = "cost_aware"
 
+    def __init__(self) -> None:
+        self.cost_fn: Optional[Callable[[Any, PageTableEntry], float]] = None
+
     def order(self, candidates: List[Candidate]) -> List[Candidate]:
+        if self.cost_fn is not None:
+            cost = self.cost_fn
+            return sorted(candidates, key=lambda c: (cost(c[0], c[1]), c[1].seq))
         return sorted(
             candidates,
             key=lambda c: (

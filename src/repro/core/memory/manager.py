@@ -107,6 +107,11 @@ class MemoryManager:
         #: asynchronous write-backs (checkpoints running behind the call
         #: path).  Every consumer of the dirty flags drains these first.
         self._pending_writebacks: Dict[Context, List[Event]] = {}
+        #: Wired by the runtime: the node's transfer-cost model
+        #: (repro.core.memory.costmodel).  Fed kernel observations from
+        #: the launch path; consulted nowhere in this class, so leaving
+        #: it unwired changes nothing.
+        self.cost_model = None
 
     # ------------------------------------------------------------------
     # swap-traffic accounting (one helper per direction, so the stats
@@ -222,8 +227,15 @@ class MemoryManager:
         # Host-side staging into the swap area.
         yield self.env.timeout(self.swap.write_seconds(nbytes))
         pte.host_write(nbytes)
-        if not self.config.defer_transfers and ctx.bound and pte.is_allocated:
-            # Overlap mode: push the data now.
+        if (
+            not self.config.defer_transfers
+            and ctx.bound
+            and pte.is_allocated
+            and (ctx.cache_vgpu is None or ctx.cache_vgpu is ctx.vgpu)
+        ):
+            # Overlap mode: push the data now.  (A residency cache held
+            # by a *different* vGPU owns the device pointer — that case
+            # stays staged and resolves at the next launch's reconcile.)
             if not pte.chunked:
                 yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, nbytes)
                 pte.on_copied_to_device()
@@ -278,11 +290,22 @@ class MemoryManager:
             # Never free device memory out from under an in-flight D2H.
             yield from self._drain_writebacks(ctx)
         if pte.is_allocated:
-            assert ctx.bound, "resident allocation implies a bound context"
-            yield from ctx.vgpu.free(pte.device_ptr)
-            pte.discard_device_dirty()
-            pte.on_device_released()
-            self.memory_freed.notify_all()
+            if ctx.cache_vgpu is not None:
+                # Retained residency: the caching vGPU's CUDA context
+                # owns the pointer, wherever (if anywhere) the context is
+                # bound now.
+                cache = ctx.cache_vgpu
+                if cache.cuda_context is not None and not cache.device.failed:
+                    yield from cache.free(pte.device_ptr)
+                pte.discard_device_dirty()
+                pte.on_device_released()
+                self.memory_freed.notify_all()
+            else:
+                assert ctx.bound, "resident allocation implies a bound context"
+                yield from ctx.vgpu.free(pte.device_ptr)
+                pte.discard_device_dirty()
+                pte.on_device_released()
+                self.memory_freed.notify_all()
         if pte.swap_ptr is not None:
             self.swap.release(pte.swap_ptr)
             pte.swap_ptr = None
@@ -323,6 +346,11 @@ class MemoryManager:
             # the dirty flags below are read (and before the kernel can
             # re-dirty the entries being written back).
             yield from self._drain_writebacks(ctx)
+        if ctx.cache_vgpu is not None:
+            # Locality retention (§4.4): revive the residency cache if
+            # this binding landed on the caching vGPU, drop it otherwise
+            # — before anything below touches device pointers.
+            yield from self._reconcile_cache(ctx)
 
         ptes = self._resolve_launch_entries(ctx, arg_vptrs)
         working_set = sum(p.size for p in ptes)
@@ -382,6 +410,8 @@ class MemoryManager:
         t0 = self.env.now
         yield from ctx.vgpu.launch(translated)
         duration = self.env.now - t0
+        if self.cost_model is not None:
+            self.cost_model.observe_kernel(kernel.flops)
 
         now = self.env.now
         for pte in ptes:
@@ -455,7 +485,7 @@ class MemoryManager:
                             ctx, sum(unallocated), max(unallocated)
                         )
                     continue
-                pte.on_device_allocated(address)
+                pte.on_device_allocated(address, ctx.vgpu.device.device_id)
 
     def _perform_deferred_transfers(
         self, ctx: Context, ptes: List[PageTableEntry]
@@ -552,6 +582,19 @@ class MemoryManager:
         caller and retries later.  Swaps never cascade over multiple
         victims ("to reduce complexity and avoid inefficiencies").
         """
+        if self.config.locality_binding:
+            # Retained residency caches of unbound contexts are clean by
+            # construction — reclaiming them moves no data, so they are
+            # always the cheapest memory on the device.  Try them before
+            # disturbing any live victim.
+            device = ctx.vgpu.device
+            yield from self._reclaim_cached(ctx, device, required_bytes,
+                                            min_contiguous)
+            if (
+                device.allocator.free_bytes >= required_bytes
+                and device.allocator.largest_free_block >= min_contiguous
+            ):
+                return
         if not self.config.enable_inter_swap:
             self.stats.swap_retries += 1
             raise NeedRetry(required_bytes)
@@ -792,6 +835,8 @@ class MemoryManager:
         for pte in self.page_table.entries_for(ctx):
             if pte.is_allocated:
                 yield from self._swap_entry(ctx, pte, notify=notify)
+        if ctx.cache_vgpu is ctx.vgpu:
+            ctx.cache_vgpu = None
         ctx.replay_journal.clear()
 
     def _swap_out_context_pipelined(self, ctx: Context, notify: bool) -> Generator:
@@ -816,7 +861,128 @@ class MemoryManager:
             pte.prefetched = False
         if notify and resident:
             self.memory_freed.notify_all()
+        if ctx.cache_vgpu is ctx.vgpu:
+            ctx.cache_vgpu = None
         ctx.replay_journal.clear()
+
+    # ------------------------------------------------------------------
+    # locality retention (§4.4 + the transfer-cost model)
+    # ------------------------------------------------------------------
+    def unbind_retain(self, ctx: Context) -> Generator:
+        """Unbind-with-retain: checkpoint the context's dirty device
+        state, then leave its device allocations in place as a *clean*
+        residency cache owned by the current vGPU's CUDA context.
+
+        The swap area ends up holding a complete copy (so the replay
+        journal clears and every later consumer of the swap state stays
+        correct), while a rebinding that lands back on the caching vGPU
+        finds the working set resident and skips the fault-in entirely.
+        The caller still releases the vGPU afterwards, exactly like a
+        swap-out unbind.
+        """
+        assert ctx.bound, "unbind_retain requires a bound context"
+        assert ctx.cache_vgpu is None or ctx.cache_vgpu is ctx.vgpu, (
+            "a stale cache must be reconciled before the context launches"
+        )
+        if self.config.overlap_transfers:
+            yield from self._drain_writebacks(ctx)
+        cached = False
+        for pte in self.page_table.entries_for(ctx):
+            if not pte.is_allocated:
+                continue
+            for run in pte.writeback_runs():
+                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
+                pte.complete_writeback(run)
+                self._account_swap_out(ctx, run[1])
+            cached = True
+        ctx.replay_journal.clear()
+        if cached:
+            ctx.cache_vgpu = ctx.vgpu
+
+    def _reconcile_cache(self, ctx: Context) -> Generator:
+        """Resolve retained residency at the first device operation after
+        a rebind: rebinding to the caching vGPU revives the entries in
+        place (a locality hit — the fault-in is avoided); anywhere else
+        the pointers belong to a foreign CUDA context and the cache is
+        dropped before any device operation can touch them."""
+        cache = ctx.cache_vgpu
+        if cache is None:
+            return
+        if ctx.vgpu is cache:
+            ctx.cache_vgpu = None
+            reused = sum(
+                p.size - p.fault_bytes()
+                for p in self.page_table.entries_for(ctx)
+                if p.is_allocated
+            )
+            if reused > 0:
+                self.stats.locality_hits += 1
+                self.stats.locality_bytes_avoided += reused
+            return
+        yield from self.drop_cache(ctx)
+
+    def drop_cache(self, ctx: Context) -> Generator:
+        """Free the retained residency cache of ``ctx``; returns the
+        bytes it covered.
+
+        The page-table release is synchronous — no other simulation step
+        can observe a half-dropped cache — while the driver frees (which
+        take simulated time) run afterwards against the caching vGPU's
+        CUDA context, which owns the pointers regardless of where the
+        context is bound now.  If that vGPU's device has failed or been
+        removed, the device state is simply lost (no device operation).
+        """
+        vgpu = ctx.cache_vgpu
+        ctx.cache_vgpu = None
+        if vgpu is None:
+            return 0
+        ptrs: List[int] = []
+        freed = 0
+        for pte in self.page_table.entries_for(ctx):
+            if pte.is_allocated:
+                ptrs.append(pte.device_ptr)
+                freed += pte.size
+                pte.prefetched = False
+                pte.on_device_released()
+        if ptrs and vgpu.cuda_context is not None and not vgpu.device.failed:
+            for ptr in ptrs:
+                yield from vgpu.free(ptr)
+            self.memory_freed.notify_all()
+        return freed
+
+    def _reclaim_cached(
+        self, ctx: Context, device: GPUDevice, required_bytes: int,
+        min_contiguous: int,
+    ) -> Generator:
+        """Reclaim other contexts' retained caches on ``device`` until
+        the requester's need fits (or no cache remains).
+
+        Never blocks on a victim's lock: a locked owner is mid-call —
+        possibly waiting for the very vGPU the requester holds — and
+        waiting here could deadlock.  The lock check and the cache's
+        synchronous release happen atomically (no intervening yield), so
+        a skipped victim simply keeps its cache.
+        """
+
+        def satisfied() -> bool:
+            return (
+                device.allocator.free_bytes >= required_bytes
+                and device.allocator.largest_free_block >= min_contiguous
+            )
+
+        freed = 0
+        for victim in list(self.page_table.contexts()):
+            if satisfied():
+                break
+            if victim is ctx or victim.bound:
+                continue
+            cache = getattr(victim, "cache_vgpu", None)
+            if cache is None or cache.device is not device or victim.lock.locked:
+                continue
+            freed += yield from self.drop_cache(victim)
+        if freed:
+            self.stats.locality_reclaims += 1
+            self.stats.locality_reclaim_bytes += freed
 
     def migrate_context_p2p(self, ctx: Context, dst_vgpu) -> Generator:
         """CUDA 4.0 dynamic binding (§4.8): move a context's resident
@@ -859,6 +1025,7 @@ class MemoryManager:
                 self.stats.p2p_bytes += nbytes
             yield from src_vgpu.free(old_ptr)
             pte.device_ptr = new_ptr
+            pte.device_id = dst_vgpu.device.device_id
             pte.check_invariants()
         return True
 
@@ -940,6 +1107,7 @@ class MemoryManager:
         """Drop the (lost) device side of every entry without device
         operations; swap-resident data becomes authoritative and the
         journal will re-create what the device held exclusively."""
+        ctx.cache_vgpu = None
         for pte in self.page_table.entries_for(ctx):
             pte.prefetched = False
             if pte.is_allocated:
@@ -976,6 +1144,10 @@ class MemoryManager:
         lock) can never race an in-flight prefetch copy.
         """
         assert ctx.bound, "prefetch requires a bound context"
+        if ctx.cache_vgpu is not None:
+            # Same reconcile as the launch path: never touch device
+            # pointers a foreign CUDA context owns.
+            yield from self._reconcile_cache(ctx)
         device = ctx.vgpu.device
         staged: List[Tuple[PageTableEntry, Tuple[int, int], Event]] = []
         for vptr in vptrs:
@@ -992,7 +1164,7 @@ class MemoryManager:
                     if exc.code != CudaError.cudaErrorMemoryAllocation:
                         raise
                     continue
-                pte.on_device_allocated(address)
+                pte.on_device_allocated(address, ctx.vgpu.device.device_id)
             for run in pte.fault_runs():
                 staged.append(
                     (pte, run, ctx.vgpu.memcpy_h2d_async(pte.device_ptr + run[0], run[1]))
@@ -1014,7 +1186,17 @@ class MemoryManager:
             yield from self._drain_writebacks(ctx)
         released_device_memory = False
         for pte in self.page_table.entries_for(ctx):
-            if pte.is_allocated and ctx.bound:
+            if pte.is_allocated and ctx.cache_vgpu is not None:
+                # Exit with a retained cache: free via the caching vGPU's
+                # CUDA context (the pointer owner), unless its device is
+                # already gone.
+                cache = ctx.cache_vgpu
+                if cache.cuda_context is not None and not cache.device.failed:
+                    yield from cache.free(pte.device_ptr)
+                    released_device_memory = True
+                pte.discard_device_dirty()
+                pte.on_device_released()
+            elif pte.is_allocated and ctx.bound:
                 yield from ctx.vgpu.free(pte.device_ptr)
                 pte.discard_device_dirty()
                 pte.on_device_released()
@@ -1023,6 +1205,7 @@ class MemoryManager:
                 self.swap.release(pte.swap_ptr)
                 pte.swap_ptr = None
             self.nested.pop(pte.virtual_ptr, None)
+        ctx.cache_vgpu = None
         self.page_table.drop_context(ctx)
         if released_device_memory:
             self.memory_freed.notify_all()

@@ -110,6 +110,7 @@ class PageTableEntry:
         "seq",
         "prefetched",
         "chunks",
+        "device_id",
     )
 
     def __init__(
@@ -144,6 +145,10 @@ class PageTableEntry:
         self.prefetched = False
         #: Demand-paging chunks (None = whole-entry granularity).
         self.chunks: Optional[List[Chunk]] = None
+        #: Device holding the current device allocation (None while not
+        #: resident).  Per-device residency accounting for the
+        #: transfer-cost model (§4.4 locality-aware binding).
+        self.device_id: Optional[int] = None
 
     # -- state machine (Figure 4) --------------------------------------
     @property
@@ -184,9 +189,12 @@ class PageTableEntry:
         self.to_copy_2swap = False
         self.check_invariants()
 
-    def on_device_allocated(self, device_ptr: int) -> None:
+    def on_device_allocated(
+        self, device_ptr: int, device_id: Optional[int] = None
+    ) -> None:
         self.is_allocated = True
         self.device_ptr = device_ptr
+        self.device_id = device_id
         self.check_invariants()
 
     def on_copied_to_device(self) -> None:
@@ -218,6 +226,7 @@ class PageTableEntry:
         assert not self.to_copy_2swap, "must write back before releasing"
         self.is_allocated = False
         self.device_ptr = None
+        self.device_id = None
         if self.chunks is None:
             self.to_copy_2dev = True
         else:
@@ -374,6 +383,7 @@ class PageTableEntry:
         becomes authoritative, without any device operation."""
         self.is_allocated = False
         self.device_ptr = None
+        self.device_id = None
         if self.chunks is None:
             self.to_copy_2swap = False
             self.to_copy_2dev = True
@@ -476,3 +486,21 @@ class PageTable:
 
     def total_bytes(self, ctx: Any) -> int:
         return sum(p.size for p in self._by_context.get(ctx, ()))
+
+    def resident_bytes_on(self, ctx: Any, device_id: int) -> int:
+        """Chunk-aware bytes of ``ctx`` current on ``device_id``: resident
+        allocation minus what would still have to fault in.  The signal
+        the transfer-cost model scores candidate devices by."""
+        return sum(
+            p.size - p.fault_bytes()
+            for p in self._by_context.get(ctx, ())
+            if p.is_allocated and p.device_id == device_id
+        )
+
+    def resident_device(self, ctx: Any) -> Optional[int]:
+        """The device holding ``ctx``'s resident entries (None if no
+        entry is device-resident)."""
+        for p in self._by_context.get(ctx, ()):
+            if p.is_allocated and p.device_id is not None:
+                return p.device_id
+        return None

@@ -34,7 +34,18 @@ class MigrationManager:
         self.scheduler = runtime.scheduler
         self.memory = runtime.memory
         self.stats = runtime.stats
+        #: Wired by the runtime under ``locality_binding``: the transfer-
+        #: cost model.  When set, every migration candidate must clear
+        #: ``migration_worthwhile`` — modeled speedup gain over the job's
+        #: remaining work must exceed the modeled data-movement cost —
+        #: before a move is scheduled.
+        self.cost_model = None
         self.scheduler.idle_hooks.append(self.on_vgpu_idle)
+
+    def _worthwhile(self, ctx: Context, dst: VirtualGPU) -> bool:
+        if self.cost_model is None:
+            return True
+        return self.cost_model.migration_worthwhile(ctx, dst.device)
 
     # ------------------------------------------------------------------
     def on_vgpu_idle(self, vgpu: VirtualGPU) -> None:
@@ -67,10 +78,14 @@ class MigrationManager:
         best: Optional[VirtualGPU] = None
         for vgpu in self.scheduler.idle_vgpus():
             speedup = vgpu.device.spec.effective_gflops / src_speed
-            if speedup >= self.config.migration_min_speedup and (
-                best is None
-                or vgpu.device.spec.effective_gflops
-                > best.device.spec.effective_gflops
+            if (
+                speedup >= self.config.migration_min_speedup
+                and self._worthwhile(ctx, vgpu)
+                and (
+                    best is None
+                    or vgpu.device.spec.effective_gflops
+                    > best.device.spec.effective_gflops
+                )
             ):
                 best = vgpu
         if best is not None:
@@ -90,7 +105,7 @@ class MigrationManager:
             if not ctx.in_cpu_phase or ctx.lock.locked:
                 continue
             speedup = dst_speed / ctx.vgpu.device.spec.effective_gflops
-            if speedup >= best_speedup:
+            if speedup >= best_speedup and self._worthwhile(ctx, dst):
                 best = ctx
                 best_speedup = speedup
         return best

@@ -19,6 +19,10 @@ Three policies from the paper's discussion are provided:
 ``credit``
     Credit-based fairness: the context that has consumed the least GPU
     time so far goes first.
+
+Plus ``edf`` (deadline QoS), ``wfq`` (weighted-fair across tenants) and
+``locality`` (cost-model-driven: bind waiters where their data lives —
+see :mod:`repro.core.memory.costmodel` and ``docs/scheduling.md``).
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ __all__ = [
     "CreditPolicy",
     "DeadlinePolicy",
     "WeightedFairPolicy",
+    "LocalityPolicy",
     "POLICY_NAMES",
     "make_policy",
 ]
@@ -192,9 +197,70 @@ class WeightedFairPolicy(_BasePolicy):
         )
 
 
+class LocalityPolicy(_BasePolicy):
+    """Bind waiters where their data lives (§4.4 cost-driven binding).
+
+    Ordering consults the node's :class:`TransferCostModel` (wired by the
+    runtime after construction, like the eviction policies' hooks): when
+    a vGPU frees, the waiter with the cheapest modeled time-to-first-
+    kernel over the currently idle vGPUs goes next — typically the one
+    whose retained working set is resident on the freed device.  Without
+    the wiring (or with no idle vGPU) it degrades to FCFS.
+
+    Starvation guard: each time the front (oldest) waiter is passed over
+    for a younger waiter with better locality, its skip counter ticks;
+    after :attr:`max_skips` consecutive skips the front waiter is served
+    regardless of cost, so locality can reorder but never indefinitely
+    delay.
+    """
+
+    name = "locality"
+
+    #: Consecutive pass-overs before the oldest waiter is forced through.
+    max_skips = 8
+
+    def __init__(self) -> None:
+        self.cost_model = None
+        #: Wired by the runtime: () -> currently idle vGPUs.
+        self.idle_vgpus_fn = None
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        front = waiting[0]
+        if self.cost_model is None or self.idle_vgpus_fn is None:
+            return front
+        if front.locality_skips >= self.max_skips:
+            front.locality_skips = 0
+            return front
+        idle = self.idle_vgpus_fn()
+        if not idle:
+            return front
+        model = self.cost_model
+        active = model.scheduler.active_per_device()
+
+        def best_cost(ctx: Context) -> float:
+            return min(model.bind_cost(ctx, v, active) for v in idle)
+
+        chosen = min(waiting, key=lambda c: (best_cost(c), c.context_id))
+        if chosen is front:
+            front.locality_skips = 0
+        else:
+            front.locality_skips += 1
+        chosen.locality_skips = 0
+        return chosen
+
+
 _POLICIES = {
     p.name: p
-    for p in (FcfsPolicy, SjfPolicy, CreditPolicy, DeadlinePolicy, WeightedFairPolicy)
+    for p in (
+        FcfsPolicy,
+        SjfPolicy,
+        CreditPolicy,
+        DeadlinePolicy,
+        WeightedFairPolicy,
+        LocalityPolicy,
+    )
 }
 
 #: Registered policy names — the single source for CLI choices and

@@ -19,6 +19,7 @@ from repro.core.config import RuntimeConfig
 from repro.core.connection import ConnectionManager
 from repro.core.context import Context, ContextState
 from repro.core.dispatcher import Dispatcher
+from repro.core.memory.costmodel import TransferCostModel
 from repro.core.memory.manager import MemoryManager
 from repro.core.migration import MigrationManager
 from repro.core.offload import OffloadManager
@@ -123,6 +124,29 @@ class NodeRuntime:
         # Engine-occupancy tracing: the driver reports every copy/exec
         # span; forwarded onto the event bus when tracing is enabled.
         self.driver.span_hook = self._on_engine_span
+        # Transfer-cost model (§4.4 cost-driven dynamic binding).  Always
+        # constructed and fed kernel observations (via memory.cost_model)
+        # so its EWMA is warm, but it only *influences* decisions when
+        # wired into the scheduler / migration / eviction below — which
+        # happens under ``locality_binding`` or the ``locality`` policy,
+        # keeping the default configuration behavior-identical.
+        self.cost_model = TransferCostModel(
+            self.config, self.memory.page_table, self.memory.swap, self.scheduler
+        )
+        self.memory.cost_model = self.cost_model
+        policy = self.scheduler.policy
+        if hasattr(policy, "cost_model"):
+            policy.cost_model = self.cost_model
+        if hasattr(policy, "idle_vgpus_fn"):
+            policy.idle_vgpus_fn = self.scheduler.idle_vgpus
+        if self.config.locality_binding or self.config.policy == "locality":
+            self.scheduler.cost_model = self.cost_model
+        if self.config.locality_binding:
+            self.migration.cost_model = self.cost_model
+            if hasattr(self.memory.eviction_policy, "cost_fn"):
+                self.memory.eviction_policy.cost_fn = (
+                    lambda ctx, pte: self.cost_model.evict_cost(ctx, pte, env.now)
+                )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -133,6 +157,8 @@ class NodeRuntime:
             return
         self._started = True
         self.driver.concurrent_kernels = self.config.kernel_consolidation
+        for device in self.driver.devices:
+            device.allocator.mode = self.config.allocator_placement
         yield from self.scheduler.start()
         self.connections.start()
         self.dispatcher.start()
@@ -164,6 +190,7 @@ class NodeRuntime:
     def add_device(self, spec: GPUSpec) -> Generator:
         """Dynamic upgrade: install a GPU and spawn vGPUs on it."""
         device = self.driver.add_device(spec)
+        device.allocator.mode = self.config.allocator_placement
         yield from self.scheduler.add_device(device)
         return device
 
@@ -250,7 +277,12 @@ class NodeRuntime:
                 and self.scheduler.waiting_count > 0
                 and ctx.state is ContextState.ASSIGNED
             ):
-                yield from self.memory.swap_out_context(ctx)
+                if self.config.locality_binding:
+                    # Retention unbind: dirty chunks go to swap but the
+                    # device copy stays cached for a same-vGPU rebind.
+                    yield from self.memory.unbind_retain(ctx)
+                else:
+                    yield from self.memory.swap_out_context(ctx)
                 self.scheduler.release(ctx, "cpu-phase unbind")
         finally:
             ctx.lock.release()

@@ -69,6 +69,11 @@ class Scheduler:
         #: binding an application thread to a GPU can potentially lead to
         #: exceeding its memory capacity").
         self.mem_needed_fn: Callable[[Context], int] = lambda c: 0
+        #: Wired by the runtime under ``locality_binding`` (or the
+        #: ``locality`` policy): the transfer-cost model.  When set,
+        #: placement picks the idle vGPU with the cheapest modeled
+        #: time-to-first-kernel instead of the policy's load heuristic.
+        self.cost_model = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -270,6 +275,18 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _choose_vgpu(self, ctx: Context, idle: List[VirtualGPU]) -> VirtualGPU:
         mem_needed = self.mem_needed_fn(ctx)
+        if self.cost_model is not None:
+            scored = self.cost_model.score_candidates(
+                ctx, idle, self.active_per_device(), mem_needed
+            )
+            if scored:
+                chosen, _cost = min(
+                    scored,
+                    key=lambda s: (s[1], s[0].device.device_id, s[0].index),
+                )
+                if self.obs.enabled:
+                    self.obs.binding_decision(ctx, chosen, scored)
+                return chosen
         vgpu = self.policy.select_vgpu(ctx, idle, self.active_per_device(), mem_needed)
         return vgpu if vgpu is not None else idle[0]
 

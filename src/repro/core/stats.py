@@ -74,6 +74,14 @@ class RuntimeStats:
     preemptions: int = 0
     quota_evictions: int = 0
     quota_eviction_bytes: int = 0
+    #: Locality-aware binding (§4.4 cost model): rebinds that found the
+    #: retained working set resident (and the fault-in bytes they
+    #: avoided), plus retained caches reclaimed to relieve another
+    #: context's memory pressure (and the bytes those reclaims freed).
+    locality_hits: int = 0
+    locality_bytes_avoided: int = 0
+    locality_reclaims: int = 0
+    locality_reclaim_bytes: int = 0
 
     @property
     def swaps_total(self) -> int:

@@ -14,6 +14,7 @@ Three layers (see ``docs/observability.md``):
 
 from repro.obs.events import (
     Bind,
+    BindingDecision,
     CallBegin,
     CallEnd,
     CheckpointTaken,
@@ -54,6 +55,7 @@ from repro.obs.collector import ObsCollector
 __all__ = [
     # events
     "Bind",
+    "BindingDecision",
     "CallBegin",
     "CallEnd",
     "CheckpointTaken",

@@ -34,6 +34,7 @@ __all__ = [
     "FailureRecovered",
     "TenantAdmission",
     "Preemption",
+    "BindingDecision",
     "QueueDepthChanged",
     "EVENT_TYPES",
     "Tracer",
@@ -241,6 +242,24 @@ class Preemption:
 
 
 @dataclasses.dataclass(frozen=True)
+class BindingDecision:
+    """The transfer-cost model scored the idle vGPUs for a binding
+    (§4.4 locality-aware dynamic binding): ``scores`` holds every
+    candidate's (vgpu name, modeled time-to-first-kernel seconds) and
+    ``chosen`` the winner.  ``resident_bytes`` is the context's
+    working-set residency on the chosen device at decision time."""
+
+    kind: ClassVar[str] = "BindingDecision"
+    at: float
+    context: str
+    chosen: str
+    device_id: Optional[int] = None
+    scores: Tuple[Tuple[str, float], ...] = ()
+    resident_bytes: int = 0
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class QueueDepthChanged:
     """A runtime queue (waiting contexts, pending connections, socket
     inbox) changed depth."""
@@ -267,6 +286,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     FailureRecovered,
     TenantAdmission,
     Preemption,
+    BindingDecision,
     QueueDepthChanged,
 )
 
@@ -537,6 +557,21 @@ class Tracer:
                 used_s=used_s,
                 tenant=getattr(getattr(ctx, "tenant", None), "name", ""),
                 device_id=vgpu.device.device_id,
+                node=self.node,
+            )
+        )
+
+    def binding_decision(self, ctx, vgpu, scored, resident_bytes: int = 0) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            BindingDecision(
+                at=self.env.now,
+                context=ctx.owner,
+                chosen=vgpu.name,
+                device_id=vgpu.device.device_id,
+                scores=tuple((v.name, cost) for v, cost in scored),
+                resident_bytes=resident_bytes,
                 node=self.node,
             )
         )

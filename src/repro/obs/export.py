@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import (
     Bind,
+    BindingDecision,
     CallEnd,
     CheckpointTaken,
     EngineSpan,
@@ -59,6 +60,7 @@ _INSTANT_KINDS = (
     FailureRecovered,
     TenantAdmission,
     Preemption,
+    BindingDecision,
     QueueDepthChanged,
 )
 

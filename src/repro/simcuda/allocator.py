@@ -1,4 +1,4 @@
-"""First-fit device-memory allocator with fragmentation.
+"""Device-memory allocator with fragmentation (first-fit / best-fit).
 
 The paper notes that "because of possible memory fragmentation on GPU, the
 runtime may need to use the return code of the GPU memory allocation
@@ -9,14 +9,22 @@ sufficient while no single free block is.
 
 Addresses are plain integers within ``[base, base + capacity)``.  A small
 non-zero ``base`` keeps ``0`` available as a NULL-pointer sentinel.
+
+``free_bytes`` and ``largest_free_block`` are O(1): they sit on the
+per-launch admission and partial-eviction hot paths, which poll them
+after every victim write-back.  A running free-byte total and a sorted
+multiset of free-block sizes are maintained alongside the block list.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["DeviceAllocator", "OutOfMemory"]
+__all__ = ["DeviceAllocator", "OutOfMemory", "PLACEMENT_MODES"]
+
+#: Supported placement strategies.
+PLACEMENT_MODES = ("first_fit", "best_fit")
 
 
 class OutOfMemory(Exception):
@@ -24,36 +32,51 @@ class OutOfMemory(Exception):
 
 
 class DeviceAllocator:
-    """First-fit allocator over a contiguous device address space."""
+    """Placement allocator over a contiguous device address space.
+
+    ``mode`` selects the placement strategy: ``first_fit`` (default)
+    takes the lowest-address block that fits; ``best_fit`` takes the
+    smallest block that fits (lowest address on ties), which keeps large
+    blocks intact and reduces fragmentation on mixed-size churn.
+    """
 
     #: Allocation granularity (CUDA rounds allocations up; 256 B matches
     #: the alignment cudaMalloc guarantees).
     ALIGNMENT = 256
     BASE_ADDRESS = 0x0200_0000
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, mode: str = "first_fit"):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if mode not in PLACEMENT_MODES:
+            raise ValueError(
+                f"unknown placement mode {mode!r}; choose from {PLACEMENT_MODES}"
+            )
         self.capacity = int(capacity)
+        self.mode = mode
         #: Sorted list of (address, size) free blocks.
         self._free: List[Tuple[int, int]] = [(self.BASE_ADDRESS, self.capacity)]
         #: address -> size for live allocations.
         self._live: Dict[int, int] = {}
+        #: Running total of free bytes (kept in sync with ``_free``).
+        self._free_total = self.capacity
+        #: Sorted multiset of free-block sizes (kept in sync with ``_free``).
+        self._sizes: List[int] = [self.capacity]
 
     # ------------------------------------------------------------------
     @property
     def free_bytes(self) -> int:
-        """Total free bytes (may be fragmented)."""
-        return sum(size for _, size in self._free)
+        """Total free bytes (may be fragmented).  O(1)."""
+        return self._free_total
 
     @property
     def used_bytes(self) -> int:
-        return self.capacity - self.free_bytes
+        return self.capacity - self._free_total
 
     @property
     def largest_free_block(self) -> int:
-        """Size of the largest single free block."""
-        return max((size for _, size in self._free), default=0)
+        """Size of the largest single free block.  O(1)."""
+        return self._sizes[-1] if self._sizes else 0
 
     @property
     def allocation_count(self) -> int:
@@ -75,8 +98,23 @@ class DeviceAllocator:
         """True if a block of ``size`` bytes can be placed right now."""
         if size <= 0:
             return False
-        need = self._round_up(size)
-        return any(blk >= need for _, blk in self._free)
+        return self._round_up(size) <= self.largest_free_block
+
+    def _find_block(self, need: int) -> Optional[int]:
+        """Index into ``_free`` of the block to carve, per ``mode``."""
+        if self.mode == "best_fit":
+            best = None
+            best_size = 0
+            for i, (_addr, blk) in enumerate(self._free):
+                if blk >= need and (best is None or blk < best_size):
+                    best, best_size = i, blk
+                    if blk == need:
+                        break
+            return best
+        for i, (_addr, blk) in enumerate(self._free):
+            if blk >= need:
+                return i
+        return None
 
     def allocate(self, size: int) -> int:
         """Place a block; returns its device address.
@@ -91,18 +129,22 @@ class DeviceAllocator:
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
         need = self._round_up(size)
-        for i, (addr, blk) in enumerate(self._free):
-            if blk >= need:
-                if blk == need:
-                    self._free.pop(i)
-                else:
-                    self._free[i] = (addr + need, blk - need)
-                self._live[addr] = need
-                return addr
-        raise OutOfMemory(
-            f"cannot place {need} bytes: free={self.free_bytes}, "
-            f"largest block={self.largest_free_block}"
-        )
+        idx = self._find_block(need)
+        if idx is None:
+            raise OutOfMemory(
+                f"cannot place {need} bytes: free={self.free_bytes}, "
+                f"largest block={self.largest_free_block}"
+            )
+        addr, blk = self._free[idx]
+        self._remove_size(blk)
+        if blk == need:
+            self._free.pop(idx)
+        else:
+            self._free[idx] = (addr + need, blk - need)
+            self._add_size(blk - need)
+        self._free_total -= need
+        self._live[addr] = need
+        return addr
 
     def free(self, address: int) -> int:
         """Release a live allocation; returns the freed byte count.
@@ -128,10 +170,20 @@ class DeviceAllocator:
         """Drop all allocations (device reset)."""
         self._free = [(self.BASE_ADDRESS, self.capacity)]
         self._live.clear()
+        self._free_total = self.capacity
+        self._sizes = [self.capacity]
 
     # ------------------------------------------------------------------
+    def _add_size(self, size: int) -> None:
+        bisect.insort(self._sizes, size)
+
+    def _remove_size(self, size: int) -> None:
+        idx = bisect.bisect_left(self._sizes, size)
+        self._sizes.pop(idx)
+
     def _insert_free(self, addr: int, size: int) -> None:
         """Insert a free block, coalescing with neighbours."""
+        self._free_total += size
         idx = bisect.bisect_left(self._free, (addr, 0))
         # Coalesce with predecessor.
         if idx > 0:
@@ -140,6 +192,7 @@ class DeviceAllocator:
                 addr = prev_addr
                 size += prev_size
                 self._free.pop(idx - 1)
+                self._remove_size(prev_size)
                 idx -= 1
         # Coalesce with successor.
         if idx < len(self._free):
@@ -147,10 +200,12 @@ class DeviceAllocator:
             if addr + size == next_addr:
                 size += next_size
                 self._free.pop(idx)
+                self._remove_size(next_size)
         self._free.insert(idx, (addr, size))
+        self._add_size(size)
 
     def __repr__(self) -> str:
         return (
-            f"<DeviceAllocator used={self.used_bytes} free={self.free_bytes} "
-            f"blocks={len(self._free)} live={len(self._live)}>"
+            f"<DeviceAllocator mode={self.mode} used={self.used_bytes} "
+            f"free={self.free_bytes} blocks={len(self._free)} live={len(self._live)}>"
         )

@@ -52,6 +52,10 @@ EXPECTED_STATS_KEYS = {
     "preemptions",
     "quota_evictions",
     "quota_eviction_bytes",
+    "locality_hits",
+    "locality_bytes_avoided",
+    "locality_reclaims",
+    "locality_reclaim_bytes",
 }
 
 

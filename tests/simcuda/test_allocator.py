@@ -164,3 +164,154 @@ def test_alloc_all_then_free_all_restores_capacity(sizes):
         a.free(p)
     assert a.free_bytes == a.capacity
     assert a.largest_free_block == a.capacity
+
+
+# ---------------------------------------------------------------------------
+# O(1) bookkeeping (running free-byte total + size multiset) and the
+# best-fit placement mode.
+# ---------------------------------------------------------------------------
+
+def _bookkeeping_consistent(a: DeviceAllocator) -> None:
+    """The O(1) accounting must equal a recount over the block list."""
+    assert a.free_bytes == sum(size for _addr, size in a._free)
+    assert sorted(size for _addr, size in a._free) == a._sizes
+    assert a.largest_free_block == (
+        max((size for _addr, size in a._free), default=0)
+    )
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        DeviceAllocator(1 * MIB, mode="worst_fit")
+    assert DeviceAllocator(1 * MIB, mode="best_fit").mode == "best_fit"
+
+
+def test_both_neighbour_coalescing_merges_into_one_block():
+    """Freeing the middle of three adjacent blocks must absorb both
+    neighbours in a single merge (one block, one multiset entry)."""
+    a = DeviceAllocator(1 * MIB)
+    p1 = a.allocate(64 * KIB)
+    p2 = a.allocate(64 * KIB)
+    p3 = a.allocate(64 * KIB)
+    guard = a.allocate(64 * KIB)  # keeps the tail block separate
+    a.free(p1)
+    a.free(p3)
+    assert len(a._free) == 3  # hole, hole, tail
+    a.free(p2)  # both-neighbour merge
+    assert len(a._free) == 2  # merged hole + tail
+    assert (p1, 192 * KIB) in a._free
+    _bookkeeping_consistent(a)
+    a.free(guard)
+    assert a._free == [(DeviceAllocator.BASE_ADDRESS, a.capacity)]
+    _bookkeeping_consistent(a)
+
+
+def test_exact_fit_removes_block_entirely():
+    """An allocation that consumes a free block exactly must remove it
+    from both the block list and the size multiset (no zero-size stub)."""
+    a = DeviceAllocator(1 * MIB)
+    p1 = a.allocate(100 * KIB)
+    a.allocate(100 * KIB)  # guard so the hole stays isolated
+    a.free(p1)
+    assert 100 * KIB in a._sizes
+    p = a.allocate(100 * KIB)  # exact fit into the hole
+    assert p == p1
+    assert 100 * KIB not in a._sizes
+    assert all(size > 0 for _addr, size in a._free)
+    _bookkeeping_consistent(a)
+
+
+def test_reset_after_partial_frees():
+    a = DeviceAllocator(1 * MIB)
+    ptrs = [a.allocate(32 * KIB) for _ in range(8)]
+    for p in ptrs[::2]:
+        a.free(p)
+    a.reset()
+    assert a.free_bytes == a.capacity
+    assert a.largest_free_block == a.capacity
+    assert a.allocation_count == 0
+    assert a._free == [(DeviceAllocator.BASE_ADDRESS, a.capacity)]
+    _bookkeeping_consistent(a)
+    # The allocator is fully usable after the reset.
+    assert a.allocate(a.capacity) == DeviceAllocator.BASE_ADDRESS
+
+
+def test_alignment_rounding_accounts_rounded_size():
+    """free_bytes must drop by the ALIGNMENT-rounded size, not the
+    requested size, and oddly-sized frees must restore it exactly."""
+    a = DeviceAllocator(1 * MIB)
+    p = a.allocate(DeviceAllocator.ALIGNMENT + 1)
+    assert a.size_of(p) == 2 * DeviceAllocator.ALIGNMENT
+    assert a.free_bytes == a.capacity - 2 * DeviceAllocator.ALIGNMENT
+    assert a.free(p) == 2 * DeviceAllocator.ALIGNMENT
+    assert a.free_bytes == a.capacity
+    _bookkeeping_consistent(a)
+
+
+def test_best_fit_prefers_smallest_hole():
+    """best_fit fills the tightest hole; first_fit takes the lowest one."""
+    def make_holes(mode):
+        a = DeviceAllocator(1 * MIB, mode=mode)
+        big = a.allocate(300 * KIB)
+        a.allocate(64 * KIB)   # guard
+        small = a.allocate(100 * KIB)
+        a.allocate(64 * KIB)   # guard
+        a.free(big)            # low, loose hole
+        a.free(small)          # high, tight hole
+        return a, big, small
+
+    a, big, small = make_holes("best_fit")
+    assert a.allocate(100 * KIB) == small
+    a, big, small = make_holes("first_fit")
+    assert a.allocate(100 * KIB) == big
+
+
+def test_best_fit_reduces_fragmentation_on_churn():
+    """Regression (satellite): on a mixed-size churn pattern, best_fit
+    must end no more fragmented than first_fit — and strictly less here,
+    because first_fit splinters the big block for every small request."""
+    def churn(mode):
+        a = DeviceAllocator(2 * MIB, mode=mode)
+        big = a.allocate(1 * MIB)
+        small = [a.allocate(40 * KIB) for _ in range(12)]
+        a.free(big)  # one big hole at the bottom
+        for i in range(0, len(small), 2):
+            a.free(small[i])  # plus a comb of small holes
+        # New small allocations that stay live: first_fit carves them
+        # out of the big hole (splintering it); best_fit drops them into
+        # the exact-fit comb holes and keeps the big block intact.
+        for _ in range(6):
+            a.allocate(40 * KIB)
+        _bookkeeping_consistent(a)
+        return a.fragmentation(), a.largest_free_block
+
+    frag_ff, largest_ff = churn("first_fit")
+    frag_bf, largest_bf = churn("best_fit")
+    assert frag_bf < frag_ff
+    assert largest_bf >= largest_ff
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    mode=st.sampled_from(["first_fit", "best_fit"]),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 64 * KIB)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_o1_bookkeeping_matches_block_list(mode, ops):
+    """The running total and size multiset never drift from the block
+    list, in either placement mode, across arbitrary alloc/free churn."""
+    a = DeviceAllocator(512 * KIB, mode=mode)
+    live = []
+    for kind, size in ops:
+        if kind == "alloc":
+            try:
+                live.append(a.allocate(size))
+            except OutOfMemory:
+                assert a.largest_free_block < a._round_up(size)
+        elif live:
+            a.free(live.pop(size % len(live)))
+        _bookkeeping_consistent(a)
+        assert a.used_bytes + a.free_bytes == a.capacity
