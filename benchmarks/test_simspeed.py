@@ -1,0 +1,128 @@
+"""Simulator self-profiling: how fast does the simulation itself run?
+
+Every other benchmark reports *simulated* seconds; this one reports the
+simulator's own speed — events processed per wall-clock second, simulated
+seconds advanced per wall second, event-queue depth and the per-handler
+hotspot breakdown — for the canonical overcommitted job mix, with
+structured tracing off and on.
+
+Two claims are asserted:
+
+* **Zero simulated cost**: the traced and untraced runs advance simulated
+  time identically and finish with identical batch results (tracing is
+  pure observation).
+* **Bounded wall cost**: tracing may not slow the simulator down by more
+  than ``MAX_TRACING_OVERHEAD`` (events/sec ratio, best of
+  ``REPEATS`` runs each way to damp scheduler noise).
+
+Writes ``BENCH_simspeed.json``.
+"""
+
+import json
+
+from repro.cli import _parse_jobs
+from repro.core import RuntimeConfig
+from repro.experiments.harness import run_node_batch
+from repro.experiments.report import format_table
+from repro.obs import ObsCollector
+from repro.sim import SimProfiler
+from repro.simcuda.device import TESLA_C2050
+
+#: Canonical overcommit mix: the CLI's default memory-heavy MM-L/BS-L
+#: alternation, enough jobs to oversubscribe a C2050 and swap.
+JOB_COUNT = 8
+VGPUS = 4
+#: Tracing must cost less than this factor in events/sec.  Measured
+#: ~1.3x on this deliberately event-dense mix (every call emits
+#: CallBegin/CallEnd/PhaseBreakdown and runs span accounting, at ~2 us
+#: of pure-Python event construction each while the per-call simulated
+#: work is tiny); the recorded JSON keeps the exact ratio as the
+#: baseline for the ROADMAP's 10x-throughput item, and the bound here
+#: only guards against regressions, with slack for CI wall-clock jitter.
+MAX_TRACING_OVERHEAD = 1.6
+REPEATS = 3
+
+
+def _run(tracing: bool):
+    profiler = SimProfiler()
+    jobs = _parse_jobs([str(JOB_COUNT)], 0.0)
+    config = RuntimeConfig(vgpus_per_device=VGPUS, tracing=tracing)
+    collector = ObsCollector() if tracing else None
+    result = run_node_batch(jobs, [TESLA_C2050], config, label="simspeed",
+                            collector=collector, profiler=profiler)
+    assert result.errors == 0
+    return result, profiler.report()
+
+
+def _best(tracing: bool):
+    """Best (fastest) of REPEATS runs; sim results are deterministic, so
+    only the wall-clock figures differ between repeats."""
+    runs = [_run(tracing) for _ in range(REPEATS)]
+    result = runs[0][0]
+    report = max((rep for _, rep in runs), key=lambda r: r["events_per_second"])
+    return result, report
+
+
+def test_simspeed_baseline_and_tracing_overhead(once):
+    def experiment():
+        return {"off": _best(tracing=False), "on": _best(tracing=True)}
+
+    results = once(experiment)
+    (res_off, rep_off) = results["off"]
+    (res_on, rep_on) = results["on"]
+
+    # Tracing is observation only: identical simulated outcome.
+    assert res_on.total_time == res_off.total_time
+    assert res_on.job_times == res_off.job_times
+    assert rep_on["events"] == rep_off["events"]
+    assert rep_on["sim_seconds"] == rep_off["sim_seconds"]
+
+    overhead = rep_off["events_per_second"] / rep_on["events_per_second"]
+    print(
+        f"\n== simulator speed: {JOB_COUNT}-job overcommit mix, "
+        f"{VGPUS} vGPUs ==\n"
+        + format_table(
+            ["tracing", "events", "events/s", "sim s / wall s",
+             "queue mean", "queue peak"],
+            [
+                [
+                    name,
+                    str(rep["events"]),
+                    f"{rep['events_per_second']:.0f}",
+                    f"{rep['sim_seconds_per_wall_second']:.1f}",
+                    f"{rep['queue_depth_mean']:.1f}",
+                    str(rep["queue_depth_peak"]),
+                ]
+                for name, rep in (("off", rep_off), ("on", rep_on))
+            ],
+        )
+        + f"\ntracing overhead: {overhead:.3f}x\nhotspots (untraced):\n"
+        + format_table(
+            ["handler", "events"],
+            [[h["handler"], str(h["events"])] for h in rep_off["hotspots"]],
+        )
+    )
+
+    assert overhead <= MAX_TRACING_OVERHEAD, (
+        f"tracing costs {overhead:.2f}x in events/sec "
+        f"(bound {MAX_TRACING_OVERHEAD}x)"
+    )
+
+    with open("BENCH_simspeed.json", "w") as fh:
+        json.dump(
+            {
+                "workload": {
+                    "jobs": JOB_COUNT,
+                    "vgpus": VGPUS,
+                    "gpu": TESLA_C2050.name,
+                    "repeats": REPEATS,
+                },
+                "tracing_off": rep_off,
+                "tracing_on": rep_on,
+                "tracing_overhead_ratio": overhead,
+                "sim_time_identical": res_on.total_time == res_off.total_time,
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")

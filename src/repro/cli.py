@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.cli catalog                 # Table 2 benchmark list
     python -m repro.cli run --jobs MM-L:6 ...   # run a batch on one node
     python -m repro.cli reproduce [figN ...]    # regenerate paper figures
+    python -m repro.cli obs report TRACE.jsonl  # analyze a JSON-lines trace
 
 ``run`` builds a single simulated node, executes the requested job mix
 through the runtime (or the bare CUDA runtime with ``--bare``) and prints
@@ -131,12 +132,16 @@ def cmd_run(args) -> int:
         print("no jobs requested", file=sys.stderr)
         return 2
     collector = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.events_out:
         if args.bare:
-            print("--trace-out/--metrics-out need the runtime; "
+            print("--trace-out/--metrics-out/--events-out need the runtime; "
                   "ignored with --bare", file=sys.stderr)
         else:
-            collector = ObsCollector()
+            collector = ObsCollector(
+                trace_path=args.trace_out,
+                metrics_path=args.metrics_out,
+                events_path=args.events_out,
+            )
     if args.bare:
         config = None
     else:
@@ -151,7 +156,7 @@ def cmd_run(args) -> int:
             swap_chunk_bytes=args.swap_chunk_mib * 1024**2,
             eviction_mode=args.eviction_mode,
             eviction_policy=args.eviction_policy,
-            tracing=bool(args.trace_out),
+            tracing=bool(args.trace_out or args.events_out),
             qos_enabled=args.qos,
             vgpu_quantum_s=args.vgpu_quantum_s,
             locality_binding=args.locality,
@@ -173,13 +178,31 @@ def cmd_run(args) -> int:
         for key, value in interesting.items():
             print(f"  {key:24s} {value}")
     if collector is not None:
+        collector.flush()
         if args.trace_out:
-            collector.write_trace(args.trace_out)
             print(f"trace      : {args.trace_out}")
         if args.metrics_out:
-            collector.write_metrics(args.metrics_out)
             print(f"metrics    : {args.metrics_out}")
+        if args.events_out:
+            print(f"events     : {args.events_out}")
     return 0 if result.errors == 0 else 1
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs import load_phase_breakdowns, render_report
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            records = load_phase_breakdowns(fh)
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no PhaseBreakdown events in {args.trace} "
+              "(was the run traced with --events-out?)", file=sys.stderr)
+        return 1
+    print(render_report(records, top=args.top))
+    return 0
 
 
 def cmd_reproduce(args) -> int:
@@ -257,7 +280,24 @@ def main(argv=None) -> int:
                      help="write a Chrome trace-event JSON of the run")
     run.add_argument("--metrics-out", metavar="FILE",
                      help="write Prometheus-style metrics text for the run")
+    run.add_argument("--events-out", metavar="FILE",
+                     help="write the raw typed event stream as JSON lines "
+                          "(input for 'repro obs report')")
     run.set_defaults(func=cmd_run)
+
+    obs = sub.add_parser("obs", help="observability tools")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="bottleneck attribution from a JSON-lines trace",
+        description="Read a JSON-lines event trace (the --events-out file "
+                    "of 'repro run') and print per-tenant and per-context "
+                    "phase attribution tables plus the slowest calls.",
+    )
+    report.add_argument("trace", help="JSON-lines trace file")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="critical-path rows to show (default 10)")
+    report.set_defaults(func=cmd_obs_report)
 
     rep = sub.add_parser("reproduce", help="regenerate the paper's figures")
     rep.add_argument("figures", nargs="*", default=[])

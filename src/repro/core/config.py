@@ -123,6 +123,19 @@ class RuntimeConfig:
         tenant registry still exists (connections may name a tenant for
         accounting) but nothing is enforced, so behavior is identical to
         a QoS-less runtime.
+    slo_window_s:
+        Width of the sliding window over which the per-tenant SLO monitor
+        computes turnaround/queue-wait percentiles and burn rates.
+    slo_turnaround_p99_s / slo_queue_wait_p99_s:
+        Per-call latency targets for the SLO monitor.  A call (or queue
+        wait) slower than the target consumes error budget; ``None``
+        (default) disables the corresponding burn-rate gauge (it reads
+        0.0).  Targets are monitoring-only — nothing is throttled.
+    slo_error_budget:
+        Fraction of calls in the window allowed to breach the target
+        before the burn rate reaches 1.0.  Burn rate is the breaching
+        fraction divided by this budget, the standard multi-window
+        burn-rate alerting quantity.
     vgpu_quantum_s:
         Preemptive time-slicing: a bound context that has accumulated
         this many GPU seconds since binding is unbound at its next call
@@ -195,6 +208,10 @@ class RuntimeConfig:
     dispatcher_overhead_s: float = 30e-6
     tracing: bool = False
     qos_enabled: bool = False
+    slo_window_s: float = 60.0
+    slo_turnaround_p99_s: Optional[float] = None
+    slo_queue_wait_p99_s: Optional[float] = None
+    slo_error_budget: float = 0.01
     vgpu_quantum_s: Optional[float] = None
     admission_mode: str = "queue"
     admission_max_contexts: Optional[int] = None
@@ -238,6 +255,10 @@ class RuntimeConfig:
             raise ValueError("listener_backlog must be >= 1 (or None)")
         if self.migration_penalty_s < 0:
             raise ValueError("migration_penalty_s must be >= 0")
+        if self.slo_window_s <= 0:
+            raise ValueError("slo_window_s must be positive")
+        if not 0 < self.slo_error_budget <= 1:
+            raise ValueError("slo_error_budget must be in (0, 1]")
         from repro.simcuda.allocator import PLACEMENT_MODES
 
         if self.allocator_placement not in PLACEMENT_MODES:

@@ -99,6 +99,12 @@ class Context:
         self.locality_skips = 0
         #: Pending kernel configuration (cudaConfigureCall).
         self.pending_config: Optional[Any] = None
+        #: Live phase recorder of the call currently being served
+        #: (repro.obs.span.CallSpan); None between calls and whenever
+        #: tracing is off.  Only the process serving the call may touch
+        #: it — work done *to* this context by another process accrues
+        #: to that process's own span.
+        self.span: Optional[Any] = None
         #: Counters.
         self.kernels_launched = 0
         self.swaps_suffered = 0

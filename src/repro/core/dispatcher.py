@@ -30,6 +30,8 @@ from repro.net.socket import Socket
 from repro.simcuda import timing
 from repro.simcuda.errors import CudaError, CudaRuntimeError
 
+from repro.obs.span import CallSpan
+
 from repro.core.context import Context, ContextState
 from repro.core.errors import RuntimeApiError
 from repro.core.memory.manager import NeedRetry
@@ -125,7 +127,21 @@ class Dispatcher:
         while True:
             req: Request = yield sock.recv()
             ctx.leave_cpu_phase()
+            span = None
+            if self.obs.enabled:
+                # The span's clock starts at the client's send timestamp,
+                # so the request's wire leg lands in the "rpc" phase.
+                span = CallSpan(
+                    self.env,
+                    trace_id=getattr(req, "trace_id", None),
+                    span_id=getattr(req, "span_id", None) or req.request_id,
+                    begin_at=getattr(req, "sent_at", None),
+                )
+                ctx.span = span
+                span.push("queue_wait")
             yield ctx.lock.acquire()
+            if span is not None:
+                span.pop()
             value, error, resp_bytes = None, None, 0
             begin_at = self.obs.call_begin(ctx, req.method) if self.obs.enabled else None
             t0 = self.env.now
@@ -152,11 +168,16 @@ class Dispatcher:
                         break
             finally:
                 self._call_latency.observe(self.env.now - t0)
+                self.runtime.slo.observe_call(ctx, self.env.now - t0)
                 if begin_at is not None:
                     self.obs.call_end(
                         ctx, req.method, begin_at,
                         error=type(error).__name__ if error is not None else None,
                     )
+                if span is not None:
+                    # Everything from here until the response lands is
+                    # the reply's wire leg.
+                    span.push("rpc")
                 ctx.enter_cpu_phase(self.env.now)
                 ctx.lock.release()
             resp = Response(
@@ -167,6 +188,12 @@ class Dispatcher:
             )
             self.stats.calls_served += 1
             yield from sock.send(resp, nbytes=resp.wire_bytes)
+            if span is not None:
+                ctx.span = None
+                self.obs.phase_breakdown(
+                    ctx, req.method, span,
+                    error=type(error).__name__ if error is not None else None,
+                )
             if req.method == CallType.EXIT:
                 return
             if self._quantum_exhausted(ctx):
@@ -300,7 +327,14 @@ class Dispatcher:
             # handshake surfaces as a typed error on Frontend.open(),
             # a queued one blocks until a slot frees.  The slot is
             # returned in _exit.
-            yield from self.runtime.admission.admit(ctx)
+            span = ctx.span
+            if span is not None:
+                span.push("queue_wait")
+            try:
+                yield from self.runtime.admission.admit(ctx)
+            finally:
+                if span is not None:
+                    span.pop()
             if ctx.tenant is not None:
                 ctx.tenant.attach(ctx)
             return None, 0
@@ -419,11 +453,19 @@ class Dispatcher:
                 # No device memory, no victim: unbind, retry later (§4.5).
                 # Wake early if anyone releases device memory; otherwise
                 # back off exponentially so stuck launches do not spin.
-                yield from self.memory.swap_out_context(ctx, notify=False)
-                self.scheduler.release(ctx, "swap retry")
-                yield self.env.any_of(
-                    [self.env.timeout(backoff), self.memory.memory_freed.wait()]
-                )
+                # The lost time is off-device time: "preempted".
+                span = ctx.span
+                if span is not None:
+                    span.push("preempted")
+                try:
+                    yield from self.memory.swap_out_context(ctx, notify=False)
+                    self.scheduler.release(ctx, "swap retry")
+                    yield self.env.any_of(
+                        [self.env.timeout(backoff), self.memory.memory_freed.wait()]
+                    )
+                finally:
+                    if span is not None:
+                        span.pop()
                 backoff = min(backoff * 2, self.config.swap_retry_max_backoff_s)
 
         ctx.pending_config = None
@@ -478,11 +520,18 @@ class Dispatcher:
                 self.stats.replayed_kernels += 1
                 index += 1
             except NeedRetry:
-                yield from self.memory.swap_out_context(ctx, notify=False)
-                self.scheduler.release(ctx, "replay retry")
-                yield self.env.any_of(
-                    [self.env.timeout(backoff), self.memory.memory_freed.wait()]
-                )
+                span = ctx.span
+                if span is not None:
+                    span.push("preempted")
+                try:
+                    yield from self.memory.swap_out_context(ctx, notify=False)
+                    self.scheduler.release(ctx, "replay retry")
+                    yield self.env.any_of(
+                        [self.env.timeout(backoff), self.memory.memory_freed.wait()]
+                    )
+                finally:
+                    if span is not None:
+                        span.pop()
                 backoff = min(backoff * 2, self.config.swap_retry_max_backoff_s)
         if not ctx.bound:
             yield from self.scheduler.request_binding(ctx, front=True)

@@ -76,6 +76,14 @@ class Frontend:
     def connected(self) -> bool:
         return self._rpc is not None
 
+    @property
+    def trace_id(self) -> Optional[int]:
+        """The connection-scoped trace id stamped on every outgoing call
+        (set once the connection is open).  All spans of this thread's
+        calls share it, which is what lets the analyzer group a trace by
+        application thread."""
+        return self._rpc.trace_id if self._rpc is not None else None
+
     def _call(self, method: CallType, payload_bytes: int = 0, **args) -> Generator:
         if self._rpc is None:
             raise RuntimeError("frontend not connected; call open() first")

@@ -52,6 +52,34 @@ class NeedRetry(Exception):
         super().__init__(f"need {required_bytes} bytes; no victim available")
 
 
+class _span_phase:
+    """Attribute simulated time spent inside the block to phase ``name``
+    of the context's live call span.  No-op between calls and with
+    tracing off (``ctx.span`` is None).  Only used where ``ctx`` is the
+    context *being served* — work done to a victim accrues to the
+    requester's phase, never to the victim's span.
+
+    A hand-rolled context manager (not ``@contextmanager``): this sits on
+    every launch/copy path, and the generator machinery costs more than
+    the phase accounting itself.
+    """
+
+    __slots__ = ("span", "name")
+
+    def __init__(self, ctx: Context, name: str):
+        self.span = ctx.span
+        self.name = name
+
+    def __enter__(self) -> None:
+        if self.span is not None:
+            self.span.push(self.name)
+
+    def __exit__(self, *exc) -> bool:
+        if self.span is not None:
+            self.span.pop()
+        return False
+
+
 class MemoryManager:
     """Virtual-memory abstraction over the node's GPUs."""
 
@@ -121,6 +149,9 @@ class MemoryManager:
         """One device→host write-back of authoritative device data."""
         self.stats.swap_bytes_out += nbytes
         self._swap_out_bytes.observe(nbytes)
+        tenant = getattr(ctx, "tenant", None)
+        if tenant is not None:
+            tenant.swap_bytes_out_total += nbytes
         if self.obs.enabled:
             self.obs.swap_out(ctx, nbytes)
 
@@ -129,6 +160,9 @@ class MemoryManager:
         self.stats.h2d_device_transfers += 1
         self.stats.swap_bytes_in += nbytes
         self._swap_in_bytes.observe(nbytes)
+        tenant = getattr(ctx, "tenant", None)
+        if tenant is not None:
+            tenant.swap_bytes_in_total += nbytes
         if self.obs.enabled:
             self.obs.swap_in(ctx, nbytes)
 
@@ -223,28 +257,30 @@ class MemoryManager:
             # An asynchronous write-back may still be reading this entry's
             # device copy into swap; the host overwrite must order after
             # it, or the stale write-back would clobber the fresh data.
-            yield from self._drain_writebacks(ctx)
-        # Host-side staging into the swap area.
-        yield self.env.timeout(self.swap.write_seconds(nbytes))
-        pte.host_write(nbytes)
-        if (
-            not self.config.defer_transfers
-            and ctx.bound
-            and pte.is_allocated
-            and (ctx.cache_vgpu is None or ctx.cache_vgpu is ctx.vgpu)
-        ):
-            # Overlap mode: push the data now.  (A residency cache held
-            # by a *different* vGPU owns the device pointer — that case
-            # stays staged and resolves at the next launch's reconcile.)
-            if not pte.chunked:
-                yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, nbytes)
-                pte.on_copied_to_device()
-                self.stats.h2d_device_transfers += 1
-            else:
-                for run in pte.fault_runs():
-                    yield from ctx.vgpu.memcpy_h2d(pte.device_ptr + run[0], run[1])
-                    pte.complete_fault(run)
+            with _span_phase(ctx, "writeback_drain"):
+                yield from self._drain_writebacks(ctx)
+        with _span_phase(ctx, "fault_in"):
+            # Host-side staging into the swap area.
+            yield self.env.timeout(self.swap.write_seconds(nbytes))
+            pte.host_write(nbytes)
+            if (
+                not self.config.defer_transfers
+                and ctx.bound
+                and pte.is_allocated
+                and (ctx.cache_vgpu is None or ctx.cache_vgpu is ctx.vgpu)
+            ):
+                # Overlap mode: push the data now.  (A residency cache held
+                # by a *different* vGPU owns the device pointer — that case
+                # stays staged and resolves at the next launch's reconcile.)
+                if not pte.chunked:
+                    yield from ctx.vgpu.memcpy_h2d(pte.device_ptr, nbytes)
+                    pte.on_copied_to_device()
                     self.stats.h2d_device_transfers += 1
+                else:
+                    for run in pte.fault_runs():
+                        yield from ctx.vgpu.memcpy_h2d(pte.device_ptr + run[0], run[1])
+                        pte.complete_fault(run)
+                        self.stats.h2d_device_transfers += 1
 
     # ------------------------------------------------------------------
     # Table 1: Copy_DH
@@ -264,18 +300,19 @@ class MemoryManager:
                 f"read of {nbytes} bytes from {pte.size}-byte allocation",
             )
         self.stats.d2h_requests += 1
-        if self.config.overlap_transfers:
-            # An asynchronous checkpoint may still be writing this data
-            # back; the dirty flags are only meaningful once it lands.
-            yield from self._drain_writebacks(ctx)
-        if pte.to_copy_2swap:
-            assert ctx.bound, "dirty device data implies a bound context"
-            for run in pte.writeback_runs():
-                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
-                pte.complete_writeback(run)
-                self._account_swap_out(ctx, run[1])
-            self._maybe_clear_journal(ctx)
-        yield self.env.timeout(self.swap.read_seconds(nbytes))
+        with _span_phase(ctx, "writeback_drain"):
+            if self.config.overlap_transfers:
+                # An asynchronous checkpoint may still be writing this data
+                # back; the dirty flags are only meaningful once it lands.
+                yield from self._drain_writebacks(ctx)
+            if pte.to_copy_2swap:
+                assert ctx.bound, "dirty device data implies a bound context"
+                for run in pte.writeback_runs():
+                    yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
+                    pte.complete_writeback(run)
+                    self._account_swap_out(ctx, run[1])
+                self._maybe_clear_journal(ctx)
+            yield self.env.timeout(self.swap.read_seconds(nbytes))
 
     # ------------------------------------------------------------------
     # Table 1: Free
@@ -288,7 +325,8 @@ class MemoryManager:
             raise
         if self.config.overlap_transfers:
             # Never free device memory out from under an in-flight D2H.
-            yield from self._drain_writebacks(ctx)
+            with _span_phase(ctx, "writeback_drain"):
+                yield from self._drain_writebacks(ctx)
         if pte.is_allocated:
             if ctx.cache_vgpu is not None:
                 # Retained residency: the caching vGPU's CUDA context
@@ -345,7 +383,8 @@ class MemoryManager:
             # Barrier: pending asynchronous write-backs must land before
             # the dirty flags below are read (and before the kernel can
             # re-dirty the entries being written back).
-            yield from self._drain_writebacks(ctx)
+            with _span_phase(ctx, "writeback_drain"):
+                yield from self._drain_writebacks(ctx)
         if ctx.cache_vgpu is not None:
             # Locality retention (§4.4): revive the residency cache if
             # this binding landed on the caching vGPU, drop it otherwise
@@ -385,15 +424,17 @@ class MemoryManager:
             # Device-memory quota (repro.qos): a launch that would push
             # its tenant over quota evicts the tenant's *own* entries
             # first, before _ensure_resident may pressure other tenants.
-            yield from self._enforce_tenant_quota(ctx, ptes)
+            with _span_phase(ctx, "eviction_stall"):
+                yield from self._enforce_tenant_quota(ctx, ptes)
         yield from self._ensure_resident(ctx, ptes)
-        yield from self._perform_deferred_transfers(ctx, ptes)
-        yield from self._patch_nested_parents(ctx, ptes)
-        if self.config.overlap_transfers:
-            # Kernels bypass the copy stream; make every staged transfer
-            # visible before execution (the one sync point of the
-            # pipelined launch path).
-            yield from ctx.vgpu.synchronize()
+        with _span_phase(ctx, "fault_in"):
+            yield from self._perform_deferred_transfers(ctx, ptes)
+            yield from self._patch_nested_parents(ctx, ptes)
+            if self.config.overlap_transfers:
+                # Kernels bypass the copy stream; make every staged
+                # transfer visible before execution (the one sync point
+                # of the pipelined launch path).
+                yield from ctx.vgpu.synchronize()
 
         read_only = set(read_only_vptrs)
         device_ptrs = tuple(p.device_ptr for p in ptes)
@@ -408,7 +449,8 @@ class MemoryManager:
             read_only=dev_read_only if dev_read_only else None,
         )
         t0 = self.env.now
-        yield from ctx.vgpu.launch(translated)
+        with _span_phase(ctx, "exec"):
+            yield from ctx.vgpu.launch(translated)
         duration = self.env.now - t0
         if self.cost_model is not None:
             self.cost_model.observe_kernel(kernel.flops)
@@ -472,18 +514,26 @@ class MemoryManager:
         for pte in ptes:
             while not pte.is_allocated:
                 try:
-                    address = yield from ctx.vgpu.malloc(pte.size)
+                    with _span_phase(ctx, "fault_in"):
+                        address = yield from ctx.vgpu.malloc(pte.size)
                 except CudaRuntimeError as exc:
                     if exc.code != CudaError.cudaErrorMemoryAllocation:
                         raise
-                    evicted = False
-                    if self.config.enable_intra_swap:
-                        evicted = yield from self._intra_swap_one(ctx, launch_set)
-                    if not evicted:
-                        unallocated = [p.size for p in ptes if not p.is_allocated]
-                        yield from self._inter_swap(
-                            ctx, sum(unallocated), max(unallocated)
-                        )
+                    # Making room on the device — including the victims'
+                    # write-backs — is the requester's eviction stall.
+                    with _span_phase(ctx, "eviction_stall"):
+                        evicted = False
+                        if self.config.enable_intra_swap:
+                            evicted = yield from self._intra_swap_one(
+                                ctx, launch_set
+                            )
+                        if not evicted:
+                            unallocated = [
+                                p.size for p in ptes if not p.is_allocated
+                            ]
+                            yield from self._inter_swap(
+                                ctx, sum(unallocated), max(unallocated)
+                            )
                     continue
                 pte.on_device_allocated(address, ctx.vgpu.device.device_id)
 
@@ -1043,7 +1093,8 @@ class MemoryManager:
         of the dirty flags wait for the completer first.
         """
         if self.config.overlap_transfers and ctx.bound:
-            yield from self._drain_writebacks(ctx)
+            with _span_phase(ctx, "writeback_drain"):
+                yield from self._drain_writebacks(ctx)
             staged = [
                 (pte, run, ctx.vgpu.memcpy_d2h_async(pte.device_ptr + run[0], run[1]))
                 for pte in self.page_table.entries_for(ctx)
@@ -1057,12 +1108,13 @@ class MemoryManager:
             )
             return
         written = 0
-        for pte in self.page_table.entries_for(ctx):
-            for run in pte.writeback_runs():
-                yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
-                pte.complete_writeback(run)
-                self._account_swap_out(ctx, run[1])
-                written += run[1]
+        with _span_phase(ctx, "writeback_drain"):
+            for pte in self.page_table.entries_for(ctx):
+                for run in pte.writeback_runs():
+                    yield from ctx.vgpu.memcpy_d2h(pte.device_ptr + run[0], run[1])
+                    pte.complete_writeback(run)
+                    self._account_swap_out(ctx, run[1])
+                    written += run[1]
         ctx.replay_journal.clear()
         self.stats.checkpoints += 1
         if self.obs.enabled:

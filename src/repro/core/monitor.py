@@ -54,6 +54,7 @@ def node_report(runtime: NodeRuntime) -> Dict[str, object]:
         "free_memory_bytes": {d.device_id: d.free_memory for d in devices},
         "swap_used_bytes": runtime.memory.swap.used_bytes,
         "tenants": runtime.qos.rollup(runtime.memory.page_table),
+        "slo": runtime.slo.rollup(),
         "metrics": runtime.metrics.snapshot(),
     }
 

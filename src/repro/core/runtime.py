@@ -26,7 +26,7 @@ from repro.core.offload import OffloadManager
 from repro.core.policies import make_policy
 from repro.core.scheduler import Scheduler
 from repro.core.stats import RuntimeStats
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, SLOMonitor, Tracer
 from repro.qos import AdmissionController, TenantRegistry
 
 __all__ = ["NodeRuntime"]
@@ -74,6 +74,10 @@ class NodeRuntime:
         self.admission = AdmissionController(
             env, self.config, self.qos, stats=self.stats, obs=self.obs
         )
+        #: Per-tenant sliding-window turnaround/queue-wait accounting and
+        #: SLO burn rates.  Always on, like the metrics registry.
+        self.slo = SLOMonitor(env, self.config)
+        self.scheduler.queue_wait_hook = self.slo.observe_queue_wait
         self.dispatcher = Dispatcher(self)
         self.migration = MigrationManager(self)
         self.offloader = OffloadManager(self)
@@ -235,6 +239,26 @@ class NodeRuntime:
             f"tenant_mem_bytes_{slug}",
             f"device memory held by tenant {tenant.name}",
             fn=lambda t=tenant: t.device_bytes(self.memory.page_table),
+        )
+        self.metrics.gauge(
+            f"tenant_swap_out_bytes_{slug}",
+            f"cumulative device-to-host swap traffic of tenant {tenant.name}",
+            fn=lambda t=tenant: t.swap_bytes_out_total,
+        )
+        self.metrics.gauge(
+            f"tenant_swap_in_bytes_{slug}",
+            f"cumulative host-to-device swap traffic of tenant {tenant.name}",
+            fn=lambda t=tenant: t.swap_bytes_in_total,
+        )
+        self.metrics.gauge(
+            f"tenant_turnaround_burn_rate_{slug}",
+            f"SLO error-budget burn rate on call turnaround for tenant {tenant.name}",
+            fn=lambda t=tenant: self.slo.burn_rate(t.name, "turnaround"),
+        )
+        self.metrics.gauge(
+            f"tenant_queue_wait_burn_rate_{slug}",
+            f"SLO error-budget burn rate on queue wait for tenant {tenant.name}",
+            fn=lambda t=tenant: self.slo.burn_rate(t.name, "queue_wait"),
         )
 
     def _on_engine_span(

@@ -74,6 +74,9 @@ class Scheduler:
         #: placement picks the idle vGPU with the cheapest modeled
         #: time-to-first-kernel instead of the policy's load heuristic.
         self.cost_model = None
+        #: Wired by the runtime: called with (ctx, wait_seconds) at every
+        #: queue-wait observation, feeding the per-tenant SLO monitor.
+        self.queue_wait_hook: Optional[Callable[[Context, float], None]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -230,6 +233,8 @@ class Scheduler:
         idle = self._satisfying_idle(ctx, self.idle_vgpus())
         if idle and not self._waiting and not self._share_capped(ctx):
             self._queue_wait.observe(0.0)
+            if self.queue_wait_hook is not None:
+                self.queue_wait_hook(ctx, 0.0)
             self._bind(ctx, self._choose_vgpu(ctx, idle))
             return
         ctx.state = ContextState.WAITING
@@ -246,7 +251,14 @@ class Scheduler:
         # A vGPU may be idle while waiters exist (policy reordering);
         # try a grant round before blocking.
         self._grant_waiting()
-        yield ev
+        span = getattr(ctx, "span", None)
+        if span is not None:
+            span.push("bind_wait")
+        try:
+            yield ev
+        finally:
+            if span is not None:
+                span.pop()
         assert ctx.bound
 
     def release(self, ctx: Context, reason: str = "") -> None:
@@ -320,6 +332,8 @@ class Scheduler:
                     ev = self._waiting_events.pop(ctx)
                     enqueued = self._enqueued_at.pop(ctx, self.env.now)
                     self._queue_wait.observe(self.env.now - enqueued)
+                    if self.queue_wait_hook is not None:
+                        self.queue_wait_hook(ctx, self.env.now - enqueued)
                     if self.obs.enabled:
                         self.obs.queue_depth("waiting_contexts", len(self._waiting))
                     self._bind(ctx, self._choose_vgpu(ctx, usable))

@@ -91,6 +91,7 @@ def run_node_batch(
     label: str = "",
     cpu_threads: int = 16,
     collector: Optional[ObsCollector] = None,
+    profiler=None,
 ) -> BatchResult:
     """Run ``jobs`` concurrently on a single node.
 
@@ -98,8 +99,13 @@ def run_node_batch(
     otherwise the node boots the paper's runtime with ``config``.
     Passing an :class:`ObsCollector` enables tracing on the node's
     runtime and leaves the collector holding the run's events/metrics.
+    Passing a :class:`~repro.sim.SimProfiler` attaches it to the
+    environment for the whole run (simulator self-profiling: events/sec,
+    queue depth, per-handler hotspots).
     """
     env = Environment()
+    if profiler is not None:
+        profiler.attach(env)
     node = ComputeNode(env, "node0", gpu_specs, cpu_threads=cpu_threads,
                        runtime_config=config)
     if collector is not None and node.runtime is not None:
@@ -124,6 +130,8 @@ def run_node_batch(
     for job in jobs:
         env.process(run_job(job), name=f"job-{job.name}")
     env.run()
+    if profiler is not None:
+        profiler.detach()
 
     job_times = [t - t0 for t in finish_times]
     elapsed = max(job_times) if job_times else 0.0

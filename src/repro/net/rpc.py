@@ -16,6 +16,7 @@ from repro.net.socket import Socket
 __all__ = ["Request", "Response", "RpcClient", "RpcServer"]
 
 _request_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
 
 #: Baseline marshalled size of a call that carries no bulk data.
 HEADER_BYTES = 64
@@ -23,12 +24,23 @@ HEADER_BYTES = 64
 
 @dataclasses.dataclass
 class Request:
-    """One marshalled call."""
+    """One marshalled call.
+
+    ``trace_id``/``span_id``/``sent_at`` are the causal-tracing header:
+    the client stamps the connection's trace id, the call's span id (its
+    request id) and the send timestamp, so the server can attribute the
+    request's wire time and group all spans of one connection.  They are
+    metadata about the call, not part of it — ``wire_bytes`` is
+    unchanged and nothing on the serving path depends on them.
+    """
 
     method: str
     args: Dict[str, Any] = dataclasses.field(default_factory=dict)
     payload_bytes: int = 0
     request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
+    trace_id: Optional[int] = None
+    span_id: Optional[int] = None
+    sent_at: Optional[float] = None
 
     @property
     def wire_bytes(self) -> int:
@@ -59,6 +71,8 @@ class RpcClient:
 
     def __init__(self, socket: Socket):
         self.socket = socket
+        #: Connection-scoped causal trace id, stamped on every request.
+        self.trace_id = next(_trace_ids)
 
     def call(
         self, method: str, payload_bytes: int = 0, response_bytes: int = 0, **args: Any
@@ -66,6 +80,9 @@ class RpcClient:
         """Issue a call and wait for its response; returns the value,
         re-raising any server-side exception."""
         req = Request(method=method, args=args, payload_bytes=payload_bytes)
+        req.trace_id = self.trace_id
+        req.span_id = req.request_id
+        req.sent_at = self.socket.env.now
         yield from self.socket.send(req, nbytes=req.wire_bytes)
         resp = yield self.socket.recv()
         if not isinstance(resp, Response) or resp.request_id != req.request_id:

@@ -24,6 +24,7 @@ from repro.obs.events import (
     FailureRecovered,
     Migration,
     Offload,
+    PhaseBreakdown,
     Preemption,
     QueueDepthChanged,
     SwapIn,
@@ -32,6 +33,14 @@ from repro.obs.events import (
     Tracer,
     Unbind,
     event_to_dict,
+)
+from repro.obs.span import CallSpan, PHASES
+from repro.obs.slo import SLOMonitor, percentile
+from repro.obs.report import (
+    aggregate_phases,
+    critical_path,
+    load_phase_breakdowns,
+    render_report,
 )
 from repro.obs.metrics import (
     BYTES_BUCKETS,
@@ -65,6 +74,7 @@ __all__ = [
     "FailureRecovered",
     "Migration",
     "Offload",
+    "PhaseBreakdown",
     "Preemption",
     "QueueDepthChanged",
     "SwapIn",
@@ -73,6 +83,15 @@ __all__ = [
     "Tracer",
     "Unbind",
     "event_to_dict",
+    # spans + SLO + analyzer
+    "CallSpan",
+    "PHASES",
+    "SLOMonitor",
+    "percentile",
+    "aggregate_phases",
+    "critical_path",
+    "load_phase_breakdowns",
+    "render_report",
     # metrics
     "BYTES_BUCKETS",
     "Counter",

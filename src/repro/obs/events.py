@@ -36,13 +36,14 @@ __all__ = [
     "Preemption",
     "BindingDecision",
     "QueueDepthChanged",
+    "PhaseBreakdown",
     "EVENT_TYPES",
     "Tracer",
     "event_to_dict",
 ]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CallBegin:
     """An intercepted call entered the dispatcher."""
 
@@ -53,9 +54,10 @@ class CallBegin:
     device_id: Optional[int] = None
     vgpu: Optional[str] = None
     node: str = ""
+    tenant: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CallEnd:
     """The call completed.  Carries its own begin time and duration so a
     span can be reconstructed from this event alone (binding may have
@@ -71,9 +73,10 @@ class CallEnd:
     vgpu: Optional[str] = None
     error: Optional[str] = None
     node: str = ""
+    tenant: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class EngineSpan:
     """One occupancy of a device engine: a DMA transfer on the copy
     engine or a kernel on the exec engine.  Emitted from the driver at
@@ -95,7 +98,7 @@ class EngineSpan:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SwapOut:
     """One page-table entry written back / released from device memory."""
 
@@ -106,9 +109,10 @@ class SwapOut:
     device_id: Optional[int] = None
     vgpu: Optional[str] = None
     node: str = ""
+    tenant: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SwapIn:
     """A deferred/bulk host→device transfer faulted data back in."""
 
@@ -119,9 +123,10 @@ class SwapIn:
     device_id: Optional[int] = None
     vgpu: Optional[str] = None
     node: str = ""
+    tenant: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Eviction:
     """One device-wide partial eviction resolved a launch's memory
     pressure: the policy freed ``bytes_freed`` across ``victims``
@@ -136,9 +141,10 @@ class Eviction:
     victims: int = 0
     device_id: Optional[int] = None
     node: str = ""
+    tenant: str = ""      # the requester's tenant
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Bind:
     """A context was granted a vGPU."""
 
@@ -150,7 +156,7 @@ class Bind:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Unbind:
     """A context released (or was evicted from) its vGPU."""
 
@@ -163,7 +169,7 @@ class Unbind:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Migration:
     """Dynamic binding moved a job between devices (§5.3.4)."""
 
@@ -176,7 +182,7 @@ class Migration:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Offload:
     """A pending connection was redirected to a peer node (§4.7)."""
 
@@ -187,7 +193,7 @@ class Offload:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CheckpointTaken:
     """Dirty device state was written back to the swap area (§4.6)."""
 
@@ -199,7 +205,7 @@ class CheckpointTaken:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FailureRecovered:
     """A failed context was rebound and its journal replayed (§4.6)."""
 
@@ -211,7 +217,7 @@ class FailureRecovered:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TenantAdmission:
     """Admission control decided on a connection's handshake: admitted
     (possibly after queueing ``waited_s``), queued, or rejected."""
@@ -225,7 +231,7 @@ class TenantAdmission:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Preemption:
     """A context exhausted its vGPU quantum while others waited and was
     unbound at a call boundary (repro.qos time-slicing)."""
@@ -241,7 +247,7 @@ class Preemption:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class BindingDecision:
     """The transfer-cost model scored the idle vGPUs for a binding
     (§4.4 locality-aware dynamic binding): ``scores`` holds every
@@ -259,7 +265,7 @@ class BindingDecision:
     node: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueueDepthChanged:
     """A runtime queue (waiting contexts, pending connections, socket
     inbox) changed depth."""
@@ -268,6 +274,34 @@ class QueueDepthChanged:
     at: float
     queue: str
     depth: int
+    node: str = ""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PhaseBreakdown:
+    """Causal latency attribution for one completed call.
+
+    Emitted by the dispatcher when the response hits the wire, from the
+    :class:`repro.obs.span.CallSpan` that travelled with the call.  The
+    ``phases`` tuple decomposes ``wall`` (response time as the frontend
+    experiences it: wire out, queueing, memory work, execution, wire
+    back) into named buckets that sum to it exactly; ``trace_id`` groups
+    all calls of one connection and ``span_id`` is the RPC request id.
+    """
+
+    kind: ClassVar[str] = "PhaseBreakdown"
+    at: float
+    context: str
+    method: str
+    trace_id: Optional[int] = None
+    span_id: Optional[int] = None
+    begin_at: float = 0.0
+    wall: float = 0.0
+    phases: Tuple[Tuple[str, float], ...] = ()
+    tenant: str = ""
+    error: Optional[str] = None
+    device_id: Optional[int] = None
+    vgpu: Optional[str] = None
     node: str = ""
 
 
@@ -288,6 +322,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     Preemption,
     BindingDecision,
     QueueDepthChanged,
+    PhaseBreakdown,
 )
 
 
@@ -304,6 +339,11 @@ def _ctx_location(ctx) -> Tuple[Optional[int], Optional[str]]:
     if vgpu is None:
         return None, None
     return vgpu.device.device_id, vgpu.name
+
+
+def _ctx_tenant(ctx) -> str:
+    """The context's tenant name, or "" before the handshake names one."""
+    return getattr(getattr(ctx, "tenant", None), "name", "")
 
 
 class Tracer:
@@ -354,6 +394,7 @@ class Tracer:
                 device_id=device_id,
                 vgpu=vgpu,
                 node=self.node,
+                tenant=_ctx_tenant(ctx),
             )
         )
         return at
@@ -375,6 +416,31 @@ class Tracer:
                 device_id=device_id,
                 vgpu=vgpu,
                 error=error,
+                node=self.node,
+                tenant=_ctx_tenant(ctx),
+            )
+        )
+
+    def phase_breakdown(self, ctx, method, span, error: Optional[str] = None) -> None:
+        """Emit the call's phase decomposition from its finished span."""
+        if not self.enabled or span is None:
+            return
+        device_id, vgpu = _ctx_location(ctx)
+        phases = span.finish()
+        self.emit(
+            PhaseBreakdown(
+                at=self.env.now,
+                context=ctx.owner,
+                method=getattr(method, "value", str(method)),
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+                begin_at=span.begin_at,
+                wall=span.wall,
+                phases=tuple(sorted(phases.items())),
+                tenant=_ctx_tenant(ctx),
+                error=error,
+                device_id=device_id,
+                vgpu=vgpu,
                 node=self.node,
             )
         )
@@ -411,6 +477,7 @@ class Tracer:
                 device_id=device_id,
                 vgpu=vgpu,
                 node=self.node,
+                tenant=_ctx_tenant(ctx),
             )
         )
 
@@ -426,6 +493,7 @@ class Tracer:
                 device_id=device_id,
                 vgpu=vgpu,
                 node=self.node,
+                tenant=_ctx_tenant(ctx),
             )
         )
 
@@ -445,6 +513,7 @@ class Tracer:
                 victims=victims,
                 device_id=device_id,
                 node=self.node,
+                tenant=_ctx_tenant(ctx),
             )
         )
 

@@ -27,6 +27,7 @@ from repro.obs.events import (
     FailureRecovered,
     Migration,
     Offload,
+    PhaseBreakdown,
     Preemption,
     QueueDepthChanged,
     SwapIn,
@@ -62,6 +63,7 @@ _INSTANT_KINDS = (
     Preemption,
     BindingDecision,
     QueueDepthChanged,
+    PhaseBreakdown,
 )
 
 _US = 1e6  # seconds → trace-event microseconds

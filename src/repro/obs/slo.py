@@ -1,0 +1,154 @@
+"""Per-tenant windowed time accounting and SLO burn-rate monitoring.
+
+The QoS layer (:mod:`repro.qos`) *makes* isolation decisions; this
+module makes them *auditable*.  An :class:`SLOMonitor` keeps a sliding
+window (``config.slo_window_s`` simulated seconds) of per-tenant call
+turnaround and scheduler queue-wait samples, computes p50/p99 rollups
+on demand, and — when the operator configures SLO targets — tracks the
+fraction of samples breaching each target as an error-budget *burn
+rate*:
+
+    burn_rate = (breaching fraction in window) / slo_error_budget
+
+A burn rate of 1.0 means the tenant is consuming its error budget
+exactly as fast as allowed; above 1.0 the budget is burning down and
+the target will be missed if the window is representative.  The rates
+surface as per-tenant gauges in the Prometheus exporter and under the
+``"slo"`` key of ``node_report()``.
+
+The monitor is always on (unlike tracing): it is fed from the
+dispatcher's existing latency-observation site and from the scheduler's
+queue-wait hook, consumes no simulated time, and costs two appends per
+call.  Calls made before the handshake names a tenant are accounted
+under the pseudo-tenant ``"-"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+__all__ = ["SLOMonitor", "percentile"]
+
+
+def percentile(values, q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 if empty."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class _Window:
+    """One tenant's sliding-window samples."""
+
+    __slots__ = ("turnaround", "queue_wait", "calls_total")
+
+    def __init__(self) -> None:
+        #: (at, seconds) samples, oldest first.
+        self.turnaround: Deque[Tuple[float, float]] = deque()
+        self.queue_wait: Deque[Tuple[float, float]] = deque()
+        self.calls_total = 0
+
+
+class SLOMonitor:
+    """Sliding-window SLO accounting for every tenant on a node."""
+
+    def __init__(self, env, config) -> None:
+        self.env = env
+        self.window_s = config.slo_window_s
+        self.turnaround_p99_target = config.slo_turnaround_p99_s
+        self.queue_wait_p99_target = config.slo_queue_wait_p99_s
+        self.error_budget = config.slo_error_budget
+        self._windows: Dict[str, _Window] = {}
+
+    # ------------------------------------------------------------------
+    def _window(self, tenant_name: str) -> _Window:
+        w = self._windows.get(tenant_name)
+        if w is None:
+            w = self._windows[tenant_name] = _Window()
+        return w
+
+    @staticmethod
+    def _tenant_of(ctx) -> str:
+        return getattr(getattr(ctx, "tenant", None), "name", "") or "-"
+
+    def _prune(self, samples: Deque[Tuple[float, float]], now: float) -> None:
+        horizon = now - self.window_s
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    # ------------------------------------------------------------------
+    def observe_call(self, ctx, latency_s: float) -> None:
+        """One completed call's turnaround (dispatcher finally-block)."""
+        now = self.env.now
+        w = self._window(self._tenant_of(ctx))
+        w.calls_total += 1
+        w.turnaround.append((now, latency_s))
+        self._prune(w.turnaround, now)
+
+    def observe_queue_wait(self, ctx, wait_s: float) -> None:
+        """One binding's scheduler queue wait (Scheduler.queue_wait_hook)."""
+        now = self.env.now
+        w = self._window(self._tenant_of(ctx))
+        w.queue_wait.append((now, wait_s))
+        self._prune(w.queue_wait, now)
+
+    # ------------------------------------------------------------------
+    def _burn(self, samples, target: Optional[float]) -> float:
+        if target is None or not samples:
+            return 0.0
+        breaching = sum(1 for _, v in samples if v > target)
+        return (breaching / len(samples)) / self.error_budget
+
+    def burn_rate(self, tenant_name: str, kind: str) -> float:
+        """Current burn rate for ``kind`` in {"turnaround", "queue_wait"}."""
+        w = self._windows.get(tenant_name)
+        if w is None:
+            return 0.0
+        now = self.env.now
+        if kind == "turnaround":
+            self._prune(w.turnaround, now)
+            return self._burn(w.turnaround, self.turnaround_p99_target)
+        if kind == "queue_wait":
+            self._prune(w.queue_wait, now)
+            return self._burn(w.queue_wait, self.queue_wait_p99_target)
+        raise ValueError(f"unknown SLO kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def rollup(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant windowed percentiles + burn rates for node_report."""
+        now = self.env.now
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, w in self._windows.items():
+            self._prune(w.turnaround, now)
+            self._prune(w.queue_wait, now)
+            turn = [v for _, v in w.turnaround]
+            wait = [v for _, v in w.queue_wait]
+            out[name] = {
+                "window_s": self.window_s,
+                "calls_total": w.calls_total,
+                "calls_in_window": len(turn),
+                "turnaround_p50_s": percentile(turn, 50),
+                "turnaround_p99_s": percentile(turn, 99),
+                "queue_wait_p50_s": percentile(wait, 50),
+                "queue_wait_p99_s": percentile(wait, 99),
+                "turnaround_target_s": self.turnaround_p99_target,
+                "queue_wait_target_s": self.queue_wait_p99_target,
+                "turnaround_burn_rate": self._burn(
+                    w.turnaround, self.turnaround_p99_target
+                ),
+                "queue_wait_burn_rate": self._burn(
+                    w.queue_wait, self.queue_wait_p99_target
+                ),
+            }
+        return out
+
+    def __repr__(self) -> str:
+        return f"<SLOMonitor window={self.window_s}s tenants={len(self._windows)}>"

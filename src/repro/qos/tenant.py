@@ -87,6 +87,11 @@ class Tenant:
         self.preemptions = 0
         #: Connections turned away by the admission controller.
         self.admission_rejects = 0
+        #: Cumulative swap traffic across all contexts ever (the derived
+        #: ``swap_bytes`` view covers only *live* allocations; rollups
+        #: and the per-tenant gauges want total data moved).
+        self.swap_bytes_out_total = 0
+        self.swap_bytes_in_total = 0
 
     # ------------------------------------------------------------------
     def attach(self, ctx: Any) -> None:
@@ -181,5 +186,7 @@ class TenantRegistry:
                 "swap_quota_bytes": tenant.swap_quota_bytes,
                 "preemptions": tenant.preemptions,
                 "admission_rejects": tenant.admission_rejects,
+                "swap_bytes_out_total": tenant.swap_bytes_out_total,
+                "swap_bytes_in_total": tenant.swap_bytes_in_total,
             }
         return out

@@ -31,6 +31,7 @@ from repro.sim.core import (
     SimulationError,
     Timeout,
 )
+from repro.sim.profile import SimProfiler
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.sync import Condition, FifoQueue, Lock, Semaphore
 from repro.sim.rng import RngStreams
@@ -50,6 +51,7 @@ __all__ = [
     "Resource",
     "RngStreams",
     "Semaphore",
+    "SimProfiler",
     "SimulationError",
     "Store",
     "Timeout",

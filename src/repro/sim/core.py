@@ -347,6 +347,10 @@ class Environment:
         self._queue: List = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Optional self-profiler (:class:`repro.sim.profile.SimProfiler`);
+        #: when set, :meth:`step` reports every popped event to it.  The
+        #: profiler observes wall-clock only and never touches sim time.
+        self.profiler = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -392,6 +396,8 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if self.profiler is not None:
+            self.profiler.on_event(event, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -1,0 +1,125 @@
+"""Self-profiling for the DES kernel: where does *wall-clock* time go?
+
+The simulator's correctness story is that nothing consults wall-clock
+time — so the profiler lives outside the model.  It hooks
+:meth:`Environment.step` (via ``env.profiler``) and counts events,
+queue depth and per-handler hotspots, and measures elapsed
+``time.perf_counter`` between :meth:`attach` and :meth:`report`.  The
+resulting events/sec and sim-seconds-per-wall-second figures are the
+baseline the simulator-throughput work is measured against
+(``BENCH_simspeed.json``).
+
+Hotspots are keyed by *process family*: the callback of most events is
+a bound ``Process._resume``, whose process name ("serve-app#3",
+"reaper-0") collapses to its family ("serve-app#", "reaper-") by
+stripping trailing digits — so a thousand per-connection processes
+roll up into one row.  Events with no process callback (pure
+condition/trigger plumbing) are keyed by their event type.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SimProfiler"]
+
+_DIGITS = "0123456789"
+
+
+class SimProfiler:
+    """Counts DES kernel activity; attach to an Environment, then report.
+
+    Usage::
+
+        profiler = SimProfiler()
+        profiler.attach(env)
+        env.run()
+        print(profiler.report())
+    """
+
+    def __init__(self) -> None:
+        self.events_processed = 0
+        self.queue_depth_sum = 0
+        self.queue_depth_peak = 0
+        self.hotspots: Dict[str, int] = {}
+        self._env: Optional[Any] = None
+        self._wall_start: Optional[float] = None
+        self._wall_elapsed = 0.0
+        self._sim_start = 0.0
+        self._sim_elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self, env: Any) -> "SimProfiler":
+        """Start profiling ``env`` (replaces any previous profiler)."""
+        self._env = env
+        env.profiler = self
+        self._wall_start = time.perf_counter()
+        self._sim_start = env.now
+        return self
+
+    def detach(self) -> None:
+        """Stop profiling; elapsed wall/sim time is frozen into the report."""
+        if self._env is None:
+            return
+        if self._wall_start is not None:
+            self._wall_elapsed += time.perf_counter() - self._wall_start
+            self._wall_start = None
+        self._sim_elapsed += self._env.now - self._sim_start
+        if getattr(self._env, "profiler", None) is self:
+            self._env.profiler = None
+        self._env = None
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Any, queue_depth: int) -> None:
+        """Called by ``Environment.step`` for every popped event."""
+        self.events_processed += 1
+        self.queue_depth_sum += queue_depth
+        if queue_depth > self.queue_depth_peak:
+            self.queue_depth_peak = queue_depth
+        key = None
+        callbacks = event.callbacks
+        if callbacks:
+            cb = callbacks[0]
+            proc = getattr(cb, "__self__", None)
+            name = getattr(proc, "name", None)
+            if name:
+                key = name.rstrip(_DIGITS)
+        if key is None:
+            key = type(event).__name__
+        self.hotspots[key] = self.hotspots.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    def _elapsed(self) -> Tuple[float, float]:
+        wall = self._wall_elapsed
+        sim = self._sim_elapsed
+        if self._env is not None:
+            if self._wall_start is not None:
+                wall += time.perf_counter() - self._wall_start
+            sim += self._env.now - self._sim_start
+        return wall, sim
+
+    def report(self, top: int = 10) -> Dict[str, Any]:
+        """Summary dict (JSON-serializable) of the profiled run."""
+        wall, sim = self._elapsed()
+        events = self.events_processed
+        hot: List[Tuple[str, int]] = sorted(
+            self.hotspots.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top]
+        return {
+            "events": events,
+            "wall_seconds": wall,
+            "sim_seconds": sim,
+            "events_per_second": events / wall if wall > 0 else 0.0,
+            "sim_seconds_per_wall_second": sim / wall if wall > 0 else 0.0,
+            "queue_depth_mean": self.queue_depth_sum / events if events else 0.0,
+            "queue_depth_peak": self.queue_depth_peak,
+            "hotspots": [{"handler": k, "events": v} for k, v in hot],
+        }
+
+    def __repr__(self) -> str:
+        wall, sim = self._elapsed()
+        return (
+            f"<SimProfiler events={self.events_processed} "
+            f"wall={wall:.3f}s sim={sim:.3f}s>"
+        )

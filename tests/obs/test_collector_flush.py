@@ -1,0 +1,81 @@
+"""ObsCollector shutdown guarantees: context-manager and atexit flushing,
+idempotence, and the plain path-less collector staying inert."""
+
+import atexit
+import json
+
+from repro.core import RuntimeConfig
+from repro.obs import ObsCollector
+
+from tests.core.conftest import Harness
+
+
+def _traced_run(collector):
+    h = Harness(config=RuntimeConfig(tracing=False))
+    collector.attach(h.runtime)
+    assert h.runtime.obs.enabled  # attach flips tracing on
+    h.spawn(h.simple_app("app0", kernel_seconds=0.2))
+    h.run()
+    return h
+
+
+def test_context_manager_flushes_all_outputs(tmp_path):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.txt"
+    events = tmp_path / "events.jsonl"
+    with ObsCollector(trace_path=str(trace), metrics_path=str(metrics),
+                      events_path=str(events)) as collector:
+        _traced_run(collector)
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]
+    assert "runtime_calls_served" in metrics.read_text()
+    lines = [json.loads(l) for l in events.read_text().splitlines()]
+    assert any(rec["kind"] == "PhaseBreakdown" for rec in lines)
+
+
+def test_flush_is_idempotent(tmp_path):
+    events = tmp_path / "events.jsonl"
+    collector = ObsCollector(events_path=str(events))
+    _traced_run(collector)
+    collector.flush()
+    first = events.read_text()
+    events.write_text("clobbered")
+    collector.flush()  # second flush must not rewrite
+    assert events.read_text() == "clobbered"
+    assert first
+
+
+def test_flush_on_exception_inside_context(tmp_path):
+    events = tmp_path / "events.jsonl"
+    try:
+        with ObsCollector(events_path=str(events)) as collector:
+            _traced_run(collector)
+            raise RuntimeError("mid-run crash")
+    except RuntimeError:
+        pass
+    assert events.exists() and events.read_text()
+
+
+def test_atexit_guard_registered_only_with_paths(tmp_path):
+    plain = ObsCollector()
+    assert not plain._atexit_registered
+    guarded = ObsCollector(events_path=str(tmp_path / "e.jsonl"))
+    assert guarded._atexit_registered
+    guarded.flush()
+    assert not guarded._atexit_registered  # unregistered after clean flush
+
+
+def test_atexit_flush_swallows_write_errors(tmp_path):
+    collector = ObsCollector(events_path=str(tmp_path / "no" / "dir" / "e.jsonl"))
+    _traced_run(collector)
+    collector._atexit_flush()  # must not raise despite the bad path
+    atexit.unregister(collector._atexit_flush)
+
+
+def test_pathless_collector_writes_on_demand(tmp_path):
+    collector = ObsCollector()
+    _traced_run(collector)
+    collector.flush()  # no-op: no paths configured
+    out = tmp_path / "t.json"
+    collector.write_trace(str(out))
+    assert json.loads(out.read_text())["traceEvents"]

@@ -1,0 +1,159 @@
+"""Per-tenant SLO monitoring: windowed percentiles, burn rates, and the
+node_report / Prometheus surfaces."""
+
+import pytest
+
+from repro.core import Frontend, RuntimeConfig
+from repro.core.monitor import node_report
+from repro.obs import SLOMonitor, percentile
+from repro.sim import Environment
+
+from tests.core.conftest import Harness
+
+
+class _Cfg:
+    slo_window_s = 10.0
+    slo_turnaround_p99_s = 1.0
+    slo_queue_wait_p99_s = 0.5
+    slo_error_budget = 0.1
+
+
+class _Ctx:
+    def __init__(self, tenant=None):
+        self.tenant = tenant
+
+
+class _Tenant:
+    def __init__(self, name):
+        self.name = name
+
+
+# ----------------------------------------------------------------------
+# percentile helper
+# ----------------------------------------------------------------------
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+    assert percentile([7.0], 99) == 7.0
+    assert percentile([], 50) == 0.0
+
+
+# ----------------------------------------------------------------------
+# monitor mechanics
+# ----------------------------------------------------------------------
+def test_rollup_reports_percentiles_and_burn_rate():
+    env = Environment()
+    mon = SLOMonitor(env, _Cfg())
+    ctx = _Ctx(_Tenant("acme"))
+    for latency in (0.1, 0.2, 0.3, 2.0):  # one breach of the 1.0 s target
+        mon.observe_call(ctx, latency)
+    mon.observe_queue_wait(ctx, 0.2)
+    roll = mon.rollup()
+    assert set(roll) == {"acme"}
+    acme = roll["acme"]
+    assert acme["calls_in_window"] == 4
+    assert acme["turnaround_p50_s"] == pytest.approx(0.25)
+    assert acme["turnaround_p99_s"] == pytest.approx(2.0, rel=0.05)
+    # 1 of 4 breaching / 0.1 budget = 2.5
+    assert acme["turnaround_burn_rate"] == pytest.approx(2.5)
+    assert mon.burn_rate("acme", "turnaround") == pytest.approx(2.5)
+    assert mon.burn_rate("acme", "queue_wait") == 0.0
+
+
+def test_window_prunes_old_samples():
+    env = Environment()
+    mon = SLOMonitor(env, _Cfg())
+    ctx = _Ctx(_Tenant("t"))
+
+    def driver():
+        mon.observe_call(ctx, 5.0)  # breach at t=0
+        yield env.timeout(20.0)  # > slo_window_s
+        mon.observe_call(ctx, 0.1)
+
+    env.process(driver())
+    env.run()
+    roll = mon.rollup()["t"]
+    assert roll["calls_total"] == 2
+    assert roll["calls_in_window"] == 1
+    assert roll["turnaround_burn_rate"] == 0.0  # the breach aged out
+
+
+def test_unset_targets_read_zero_burn():
+    class NoTargets:
+        slo_window_s = 10.0
+        slo_turnaround_p99_s = None
+        slo_queue_wait_p99_s = None
+        slo_error_budget = 0.01
+
+    env = Environment()
+    mon = SLOMonitor(env, NoTargets())
+    mon.observe_call(_Ctx(_Tenant("t")), 100.0)
+    assert mon.burn_rate("t", "turnaround") == 0.0
+
+
+def test_tenantless_calls_key_under_dash():
+    env = Environment()
+    mon = SLOMonitor(env, _Cfg())
+    mon.observe_call(_Ctx(None), 0.1)
+    assert "-" in mon.rollup()
+
+
+def test_config_validates_slo_fields():
+    with pytest.raises(ValueError):
+        RuntimeConfig(slo_window_s=0.0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(slo_error_budget=0.0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(slo_error_budget=1.5)
+
+
+# ----------------------------------------------------------------------
+# runtime integration
+# ----------------------------------------------------------------------
+def _run_tenant_app(h, tenant="acme"):
+    def app():
+        fe = Frontend(h.env, h.runtime.listener, name="app0", tenant=tenant)
+        yield from fe.open()
+        ptr = yield from fe.cuda_malloc(1024)
+        yield from fe.cuda_memcpy_h2d(ptr, 1024)
+        yield from fe.cuda_free(ptr)
+        yield from fe.cuda_thread_exit()
+
+    h.spawn(app())
+    h.run()
+
+
+def test_node_report_carries_slo_rollup():
+    h = Harness(config=RuntimeConfig(slo_turnaround_p99_s=10.0))
+    _run_tenant_app(h)
+    report = node_report(h.runtime)
+    assert "acme" in report["slo"]
+    acme = report["slo"]["acme"]
+    assert acme["calls_in_window"] > 0
+    assert acme["turnaround_p99_s"] >= 0.0
+    assert acme["turnaround_target_s"] == 10.0
+
+
+def test_burn_rate_gauges_exported_per_tenant():
+    h = Harness(config=RuntimeConfig(slo_turnaround_p99_s=1e-9,
+                                     slo_error_budget=0.5))
+    _run_tenant_app(h)
+    from repro.obs import prometheus_text
+
+    text = prometheus_text(h.runtime.metrics)
+    assert "tenant_turnaround_burn_rate_acme" in text
+    assert "tenant_queue_wait_burn_rate_acme" in text
+    assert "tenant_swap_out_bytes_acme" in text
+    assert "tenant_swap_in_bytes_acme" in text
+    # every call breaches the 1 ns target: burn = 1.0 / 0.5 budget
+    assert h.runtime.slo.burn_rate("acme", "turnaround") == pytest.approx(2.0)
+
+
+def test_tenant_rollup_reports_swap_traffic_totals():
+    h = Harness(config=RuntimeConfig(vgpus_per_device=1))
+    _run_tenant_app(h)
+    roll = h.runtime.qos.rollup(h.runtime.memory.page_table)
+    assert roll["acme"]["swap_bytes_out_total"] >= 0
+    assert roll["acme"]["swap_bytes_in_total"] >= 0

@@ -1,0 +1,191 @@
+"""Causal span propagation: CallSpan mechanics and the phase-sum
+invariant — every completed call's PhaseBreakdown phases sum to its wall
+time, under the plain runtime and under overlap + chunked swapping +
+preemption."""
+
+import pytest
+
+from repro.core import Frontend, RuntimeConfig
+from repro.obs import CallBegin, CallEnd, CallSpan, PHASES, PhaseBreakdown
+from repro.sim import Environment
+
+from tests.core.conftest import Harness, MIB
+
+#: Simulated-time slack for the phase-sum invariant (one "tick" — times
+#: are floats, so this is pure rounding headroom).
+TICK = 1e-9
+
+
+def traced(**config_kwargs):
+    specs = config_kwargs.pop("specs", None)
+    return Harness(specs=specs, config=RuntimeConfig(tracing=True, **config_kwargs))
+
+
+# ----------------------------------------------------------------------
+# CallSpan unit behavior
+# ----------------------------------------------------------------------
+def test_span_settles_elapsed_time_to_top_phase():
+    env = Environment()
+
+    def driver():
+        span = CallSpan(env)
+        span.push("queue_wait")
+        yield env.timeout(2.0)
+        span.pop()
+        span.push("exec")
+        yield env.timeout(3.0)
+        span.pop()
+        yield env.timeout(1.0)  # no phase pushed -> "other"
+        phases = span.finish()
+        assert phases == {"queue_wait": 2.0, "exec": 3.0, "other": 1.0}
+        assert sum(phases.values()) == pytest.approx(span.wall)
+
+    env.process(driver())
+    env.run()
+
+
+def test_span_credits_request_wire_time_to_rpc():
+    env = Environment()
+
+    def driver():
+        yield env.timeout(5.0)
+        # begin_at in the past (the client stamped sent_at=3.0): the
+        # wire leg is credited to "rpc" up front.
+        span = CallSpan(env, begin_at=3.0)
+        yield env.timeout(1.0)
+        phases = span.finish()
+        assert phases["rpc"] == pytest.approx(2.0)
+        assert sum(phases.values()) == pytest.approx(span.wall) == pytest.approx(3.0)
+
+    env.process(driver())
+    env.run()
+
+
+def test_span_nested_phases_attribute_to_innermost():
+    env = Environment()
+
+    def driver():
+        span = CallSpan(env)
+        span.push("exec")
+        yield env.timeout(1.0)
+        span.push("fault_in")  # nested: inner phase wins while pushed
+        yield env.timeout(2.0)
+        span.pop()
+        yield env.timeout(1.0)
+        span.pop()
+        phases = span.finish()
+        assert phases == {"exec": 2.0, "fault_in": 2.0}
+
+    env.process(driver())
+    env.run()
+
+
+def test_span_ids_are_unique():
+    env = Environment()
+    a, b = CallSpan(env), CallSpan(env)
+    assert a.trace_id != b.trace_id
+
+
+# ----------------------------------------------------------------------
+# the invariant, end to end
+# ----------------------------------------------------------------------
+def _assert_breakdowns_consistent(obs):
+    ends = obs.events_of(CallEnd)
+    breakdowns = obs.events_of(PhaseBreakdown)
+    assert len(breakdowns) == len(ends) > 0
+    for pb in breakdowns:
+        assert pb.phases, f"empty phase list for {pb.method} of {pb.context}"
+        total = sum(dt for _, dt in pb.phases)
+        assert total == pytest.approx(pb.wall, abs=TICK), (
+            f"{pb.context} {pb.method}: phases sum {total} != wall {pb.wall}"
+        )
+        assert pb.wall == pytest.approx(pb.at - pb.begin_at, abs=TICK)
+        assert all(name in PHASES for name, _ in pb.phases)
+        assert pb.trace_id is not None and pb.span_id is not None
+    # spans of one connection share the client's trace id
+    by_context = {}
+    for pb in breakdowns:
+        by_context.setdefault(pb.context, set()).add(pb.trace_id)
+    assert all(len(ids) == 1 for ids in by_context.values())
+
+
+def test_phase_sum_equals_wall_time_plain_runtime():
+    h = traced(vgpus_per_device=4)
+    for i in range(3):
+        h.spawn(h.simple_app(f"app{i}", kernel_seconds=0.3, kernel_count=2))
+    h.run()
+    _assert_breakdowns_consistent(h.runtime.obs)
+
+
+def test_phase_sum_under_overcommit_swap_and_contention():
+    """Two memory hogs on one vGPU: queue wait, fault-in, eviction stalls
+    and the unbind-retry path all appear, and the invariant holds."""
+    h = traced(vgpus_per_device=1)
+    for i in range(2):
+        h.spawn(h.simple_app(f"big{i}", alloc_mib=1600, kernel_seconds=0.4,
+                             kernel_count=3, cpu_phase_s=0.2))
+    h.run()
+    obs = h.runtime.obs
+    _assert_breakdowns_consistent(obs)
+    seen = {name for pb in obs.events_of(PhaseBreakdown) for name, _ in pb.phases}
+    assert "exec" in seen and "bind_wait" in seen and "fault_in" in seen
+
+
+def test_phase_sum_under_overlap_chunking_and_preemption():
+    """The hard mode: pipelined copy streams, chunked demand paging and
+    quantum preemption together."""
+    h = traced(
+        vgpus_per_device=2,
+        overlap_transfers=True,
+        swap_chunk_bytes=64 * MIB,
+        vgpu_quantum_s=0.25,
+    )
+    for i in range(3):
+        h.spawn(h.simple_app(f"hog{i}", alloc_mib=1500, kernel_seconds=0.4,
+                             kernel_count=4, cpu_phase_s=0.1))
+    h.run()
+    _assert_breakdowns_consistent(h.runtime.obs)
+
+
+def test_call_events_carry_tenant_label():
+    h = traced(vgpus_per_device=2)
+
+    def app():
+        fe = Frontend(h.env, h.runtime.listener, name="tapp", tenant="acme")
+        yield from fe.open()
+        yield from fe.cuda_thread_exit()
+
+    h.spawn(app())
+    h.run()
+    obs = h.runtime.obs
+    for cls in (CallBegin, CallEnd, PhaseBreakdown):
+        events = [e for e in obs.events_of(cls) if e.context == "tapp"]
+        assert events
+        # the handshake itself runs before the tenant is known; every
+        # call after it carries the label
+        assert all(e.tenant == "acme" for e in events[1:])
+
+
+def test_frontend_exposes_trace_id():
+    h = traced()
+    captured = {}
+
+    def app():
+        fe = h.frontend("app0")
+        assert fe.trace_id is None
+        yield from fe.open()
+        captured["trace_id"] = fe.trace_id
+        yield from fe.cuda_thread_exit()
+
+    h.spawn(app())
+    h.run()
+    assert captured["trace_id"] is not None
+    breakdowns = h.runtime.obs.events_of(PhaseBreakdown)
+    assert {pb.trace_id for pb in breakdowns} == {captured["trace_id"]}
+
+
+def test_tracing_off_leaves_no_spans():
+    h = Harness(config=RuntimeConfig())
+    h.spawn(h.simple_app("app0", kernel_seconds=0.2))
+    h.run()
+    assert h.runtime.obs.events == []

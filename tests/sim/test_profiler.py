@@ -1,0 +1,90 @@
+"""Simulator self-profiling: the SimProfiler hook in Environment.step."""
+
+import pytest
+
+from repro.sim import Environment, SimProfiler
+
+
+def _burn(env, n, delay=1.0):
+    def proc():
+        for _ in range(n):
+            yield env.timeout(delay)
+
+    return proc()
+
+
+def test_profiler_counts_every_processed_event():
+    env = Environment()
+    profiler = SimProfiler()
+    profiler.attach(env)
+    env.process(_burn(env, 5), name="worker0")
+    env.run()
+    profiler.detach()
+    report = profiler.report()
+    assert report["events"] == profiler.events_processed > 0
+    assert report["sim_seconds"] == pytest.approx(5.0)
+    assert report["wall_seconds"] > 0
+    assert report["events_per_second"] > 0
+    assert report["sim_seconds_per_wall_second"] > 0
+
+
+def test_profiler_groups_hotspots_by_process_family():
+    env = Environment()
+    profiler = SimProfiler()
+    profiler.attach(env)
+    for i in range(3):
+        env.process(_burn(env, 4), name=f"worker{i}")
+    env.run()
+    profiler.detach()
+    report = profiler.report()
+    handlers = {h["handler"]: h["events"] for h in report["hotspots"]}
+    # workers 0..2 collapse into one "worker" family
+    assert handlers.get("worker", 0) >= 12
+    assert sum(handlers.values()) == report["events"]
+
+
+def test_profiler_tracks_queue_depth():
+    env = Environment()
+    profiler = SimProfiler()
+    profiler.attach(env)
+    for i in range(10):
+        env.process(_burn(env, 1), name=f"p{i}")
+    env.run()
+    profiler.detach()
+    report = profiler.report()
+    assert report["queue_depth_peak"] >= 9
+    assert 0 <= report["queue_depth_mean"] <= report["queue_depth_peak"]
+
+
+def test_detach_freezes_the_clock_and_unhooks():
+    env = Environment()
+    profiler = SimProfiler()
+    profiler.attach(env)
+    env.process(_burn(env, 2), name="w")
+    env.run()
+    profiler.detach()
+    assert env.profiler is None
+    count = profiler.events_processed
+    wall = profiler.report()["wall_seconds"]
+    env.process(_burn(env, 3), name="w2")
+    env.run()
+    assert profiler.events_processed == count  # unhooked: nothing counted
+    assert profiler.report()["wall_seconds"] == wall
+
+
+def test_unprofiled_environment_has_no_hook():
+    env = Environment()
+    assert env.profiler is None
+    env.process(_burn(env, 2), name="w")
+    env.run()  # no profiler: step() takes the fast path
+
+
+def test_report_limits_hotspot_rows():
+    env = Environment()
+    profiler = SimProfiler()
+    profiler.attach(env)
+    for i in range(30):
+        env.process(_burn(env, 1), name=f"kind{i}x{i}")
+    env.run()
+    profiler.detach()
+    assert len(profiler.report(top=5)["hotspots"]) <= 5
