@@ -6,19 +6,42 @@ seconds advanced per wall second, event-queue depth and the per-handler
 hotspot breakdown — for the canonical overcommitted job mix, with
 structured tracing off and on.
 
-Two claims are asserted:
+Four claims are asserted:
 
+* **Sim-time identity**: the run reproduces the PR 6 pinned simulated
+  results (``simspeed_baseline.json``) bit-for-bit — total time and every
+  per-job completion time.  The kernel rework (event cancellation, timer
+  wheel, ghost-waiter purging) may change how many events it takes, but
+  never *when* anything happens.
 * **Zero simulated cost**: the traced and untraced runs advance simulated
   time identically and finish with identical batch results (tracing is
   pure observation).
 * **Bounded wall cost**: tracing may not slow the simulator down by more
   than ``MAX_TRACING_OVERHEAD`` (events/sec ratio, best of
   ``REPEATS`` runs each way to damp scheduler noise).
+* **Throughput ratchet**: untraced events/sec must stay above
+  ``min_speedup`` x the baseline's recorded figure.  The ratchet is
+  deliberately below the measured speedup (see ``min_speedup`` in the
+  baseline JSON) because the recorded figure is machine-specific: CI
+  runners differ from the box that recorded it, so the gate is sized to
+  catch the integer-factor regressions an algorithmic mistake in the
+  kernel causes (O(n) queue scans, eager cancellation sweeps), not
+  scheduler noise.
+
+The honest scorecard: the ROADMAP's 10x-throughput item targeted 10x
+(acceptance floor 5x); the rework measured ~1.13x on the recording
+machine.  Profiling shows why: the kernel was already thin (pop + two
+attribute loads + one callback per event), so cancellation and the timer
+wheel bought correctness and fewer events, while wall time is dominated
+by the *model's* generator code — irreducible Python function-call cost,
+not kernel overhead.  ``speedup_vs_baseline`` in the output records the
+actual ratio; see docs/simulator.md for the full breakdown.
 
 Writes ``BENCH_simspeed.json``.
 """
 
 import json
+import pathlib
 
 from repro.cli import _parse_jobs
 from repro.core import RuntimeConfig
@@ -41,6 +64,9 @@ VGPUS = 4
 #: only guards against regressions, with slack for CI wall-clock jitter.
 MAX_TRACING_OVERHEAD = 1.6
 REPEATS = 3
+
+#: PR 6 pinned simulated results + recorded events/sec + the ratchet.
+BASELINE_PATH = pathlib.Path(__file__).with_name("simspeed_baseline.json")
 
 
 def _run(tracing: bool):
@@ -71,11 +97,31 @@ def test_simspeed_baseline_and_tracing_overhead(once):
     (res_off, rep_off) = results["off"]
     (res_on, rep_on) = results["on"]
 
+    # Sim-time identity against the pinned PR 6 baseline: the kernel
+    # rework must not move a single simulated timestamp.
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert res_off.total_time == baseline["sim_total_time"], (
+        f"simulated total time diverged from the pinned baseline: "
+        f"{res_off.total_time!r} != {baseline['sim_total_time']!r}"
+    )
+    assert list(res_off.job_times) == baseline["sim_job_times"], (
+        "per-job completion times diverged from the pinned baseline"
+    )
+
     # Tracing is observation only: identical simulated outcome.
     assert res_on.total_time == res_off.total_time
     assert res_on.job_times == res_off.job_times
     assert rep_on["events"] == rep_off["events"]
     assert rep_on["sim_seconds"] == rep_off["sim_seconds"]
+
+    # Throughput ratchet against the recorded baseline figure.
+    speedup = rep_off["events_per_second"] / baseline["events_per_second"]
+    assert speedup >= baseline["min_speedup"], (
+        f"events/sec regressed: {rep_off['events_per_second']:.0f} is "
+        f"{speedup:.2f}x the recorded baseline "
+        f"{baseline['events_per_second']:.0f} "
+        f"(ratchet {baseline['min_speedup']}x)"
+    )
 
     overhead = rep_off["events_per_second"] / rep_on["events_per_second"]
     print(
@@ -96,7 +142,9 @@ def test_simspeed_baseline_and_tracing_overhead(once):
                 for name, rep in (("off", rep_off), ("on", rep_on))
             ],
         )
-        + f"\ntracing overhead: {overhead:.3f}x\nhotspots (untraced):\n"
+        + f"\ntracing overhead: {overhead:.3f}x"
+        + f"\nspeedup vs recorded baseline: {speedup:.3f}x"
+        + f" (ratchet {baseline['min_speedup']}x)\nhotspots (untraced):\n"
         + format_table(
             ["handler", "events"],
             [[h["handler"], str(h["events"])] for h in rep_off["hotspots"]],
@@ -121,6 +169,10 @@ def test_simspeed_baseline_and_tracing_overhead(once):
                 "tracing_on": rep_on,
                 "tracing_overhead_ratio": overhead,
                 "sim_time_identical": res_on.total_time == res_off.total_time,
+                "baseline_events_per_second": baseline["events_per_second"],
+                "speedup_vs_baseline": speedup,
+                "min_speedup": baseline["min_speedup"],
+                "sim_time_matches_pinned_baseline": True,
             },
             fh,
             indent=2,

@@ -121,30 +121,42 @@ class Dispatcher:
 
     # ------------------------------------------------------------------
     def _serve_connection(self, sock: Socket) -> Generator:
-        ctx = Context(self.env, owner=sock.peer_name)
-        ctx.enter_cpu_phase(self.env.now)
+        # Generator locals persist across yields: bind the per-call
+        # constants once instead of chasing attribute chains on every
+        # iteration of the hottest loop in the simulator.
+        env = self.env
+        obs = self.obs
+        stats = self.stats
+        recv = sock.recv
+        latency_observe = self._call_latency.observe
+        slo_observe = self.runtime.slo.observe_call
+        migration = self.runtime.migration
+        ctx = Context(env, owner=sock.peer_name)
+        ctx.enter_cpu_phase(env.now)
         self.contexts.append(ctx)
+        lock_acquire = ctx.lock.acquire
+        lock_release = ctx.lock.release
         while True:
-            req: Request = yield sock.recv()
+            req: Request = yield recv()
             ctx.leave_cpu_phase()
             span = None
-            if self.obs.enabled:
+            if obs.enabled:
                 # The span's clock starts at the client's send timestamp,
                 # so the request's wire leg lands in the "rpc" phase.
                 span = CallSpan(
-                    self.env,
+                    env,
                     trace_id=getattr(req, "trace_id", None),
                     span_id=getattr(req, "span_id", None) or req.request_id,
                     begin_at=getattr(req, "sent_at", None),
                 )
                 ctx.span = span
                 span.push("queue_wait")
-            yield ctx.lock.acquire()
+            yield lock_acquire()
             if span is not None:
                 span.pop()
             value, error, resp_bytes = None, None, 0
-            begin_at = self.obs.call_begin(ctx, req.method) if self.obs.enabled else None
-            t0 = self.env.now
+            begin_at = obs.call_begin(ctx, req.method) if obs.enabled else None
+            t0 = env.now
             try:
                 while True:
                     try:
@@ -167,10 +179,11 @@ class Dispatcher:
                         error = exc
                         break
             finally:
-                self._call_latency.observe(self.env.now - t0)
-                self.runtime.slo.observe_call(ctx, self.env.now - t0)
+                elapsed = env.now - t0
+                latency_observe(elapsed)
+                slo_observe(ctx, elapsed)
                 if begin_at is not None:
-                    self.obs.call_end(
+                    obs.call_end(
                         ctx, req.method, begin_at,
                         error=type(error).__name__ if error is not None else None,
                     )
@@ -178,19 +191,19 @@ class Dispatcher:
                     # Everything from here until the response lands is
                     # the reply's wire leg.
                     span.push("rpc")
-                ctx.enter_cpu_phase(self.env.now)
-                ctx.lock.release()
+                ctx.enter_cpu_phase(env.now)
+                lock_release()
             resp = Response(
                 request_id=req.request_id,
                 value=value,
                 error=error,
                 payload_bytes=resp_bytes,
             )
-            self.stats.calls_served += 1
+            stats.calls_served += 1
             yield from sock.send(resp, nbytes=resp.wire_bytes)
             if span is not None:
                 ctx.span = None
-                self.obs.phase_breakdown(
+                obs.phase_breakdown(
                     ctx, req.method, span,
                     error=type(error).__name__ if error is not None else None,
                 )
@@ -204,7 +217,7 @@ class Dispatcher:
                 yield from self._preempt(ctx)
             # The application is back in a CPU phase: a faster idle GPU
             # may now claim it (dynamic binding, §5.3.4).
-            self.runtime.migration.maybe_migrate(ctx)
+            migration.maybe_migrate(ctx)
             self._maybe_prefetch(ctx)
 
     # ------------------------------------------------------------------
@@ -460,9 +473,13 @@ class Dispatcher:
                 try:
                     yield from self.memory.swap_out_context(ctx, notify=False)
                     self.scheduler.release(ctx, "swap retry")
-                    yield self.env.any_of(
-                        [self.env.timeout(backoff), self.memory.memory_freed.wait()]
-                    )
+                    # When either branch wins, the AnyOf cancels the loser:
+                    # a spent timeout leaves the kernel heap, an unneeded
+                    # waiter leaves memory_freed's queue — so a later
+                    # notify cannot be swallowed by this retry's ghost.
+                    timeout = self.env.timeout(backoff)
+                    freed = self.memory.memory_freed.wait()
+                    yield self.env.any_of([timeout, freed])
                 finally:
                     if span is not None:
                         span.pop()
@@ -526,9 +543,11 @@ class Dispatcher:
                 try:
                     yield from self.memory.swap_out_context(ctx, notify=False)
                     self.scheduler.release(ctx, "replay retry")
-                    yield self.env.any_of(
-                        [self.env.timeout(backoff), self.memory.memory_freed.wait()]
-                    )
+                    # As in _launch: the losing branch is cancelled, not
+                    # left as a ghost waiter/heap entry.
+                    timeout = self.env.timeout(backoff)
+                    freed = self.memory.memory_freed.wait()
+                    yield self.env.any_of([timeout, freed])
                 finally:
                     if span is not None:
                         span.pop()

@@ -51,6 +51,22 @@ class TransferCostModel:
         self.scheduler = scheduler
         #: EWMA of per-launch kernel work (flops) observed node-wide.
         self._ewma_flops = 0.0
+        # Memoized whole-table aggregates, valid for exactly one page
+        # table residency epoch: any PTE state transition or entry
+        # create/remove bumps the epoch and flushes them.
+        self._memo_epoch = -1
+        self._ws_cache: dict = {}
+        self._split_cache: dict = {}
+        self._dirty_frac_cache: dict = {}
+
+    def _sync_memo(self) -> None:
+        # Tables without an epoch (test doubles) get no memoization.
+        epoch = getattr(self.page_table, "epoch", None)
+        if epoch != self._memo_epoch or epoch is None:
+            self._memo_epoch = epoch
+            self._ws_cache.clear()
+            self._split_cache.clear()
+            self._dirty_frac_cache.clear()
 
     # ------------------------------------------------------------------
     # observations
@@ -70,7 +86,20 @@ class TransferCostModel:
     def working_set(self, ctx: Any) -> List[Any]:
         """Predicted next-launch entries: the journaled last-launch
         working set when available (kernels overwhelmingly iterate on the
-        same buffers), else everything the context allocated."""
+        same buffers), else everything the context allocated.
+
+        Memoized per residency epoch; treat the returned list as
+        read-only."""
+        self._sync_memo()
+        vptrs = ctx.last_launch_vptrs
+        key = (id(ctx), tuple(vptrs) if vptrs else None)
+        ws = self._ws_cache.get(key)
+        if ws is None:
+            ws = self._working_set_uncached(ctx)
+            self._ws_cache[key] = ws
+        return ws
+
+    def _working_set_uncached(self, ctx: Any) -> List[Any]:
         entries = self.page_table.entries_for(ctx)
         if ctx.last_launch_vptrs:
             wanted = set(ctx.last_launch_vptrs)
@@ -86,10 +115,19 @@ class TransferCostModel:
         return min(device.spec.pcie_gbps * 1e9, swap.host_memcpy_bps)
 
     def _resident_split(
-        self, ws: Iterable[Any], device: Any
+        self, ws: List[Any], device: Any
     ) -> Tuple[int, int, int]:
         """(total, resident-on-device, bytes-needing-device-allocation)
-        over the working set, chunk-aware."""
+        over the working set, chunk-aware.
+
+        Memoized per residency epoch, keyed by the working-set list's
+        identity — safe because the lists themselves come from the
+        epoch-scoped ``working_set`` cache."""
+        self._sync_memo()
+        key = (id(ws), device.device_id)
+        cached = self._split_cache.get(key)
+        if cached is not None:
+            return cached
         total = resident = need_alloc = 0
         for p in ws:
             total += p.size
@@ -97,7 +135,9 @@ class TransferCostModel:
                 resident += p.size - p.fault_bytes()
             else:
                 need_alloc += p.size
-        return total, resident, need_alloc
+        result = (total, resident, need_alloc)
+        self._split_cache[key] = result
+        return result
 
     def _affinity_device(self, ctx: Any) -> Optional[Any]:
         """The device the context's data gravity points at: the vGPU
@@ -109,14 +149,24 @@ class TransferCostModel:
 
     def _device_dirty_fraction(self, device: Any) -> float:
         """How dirty the device's resident data is — the expected
-        write-back bytes per byte a victim eviction frees."""
+        write-back bytes per byte a victim eviction frees.
+
+        O(all PTEs) to compute, so memoized per residency epoch — the
+        dominant saving when score_candidates prices every device on
+        every binding decision."""
+        self._sync_memo()
+        cached = self._dirty_frac_cache.get(device.device_id)
+        if cached is not None:
+            return cached
         allocated = dirty = 0
         for ctx in self.page_table.contexts():
             for p in self.page_table.entries_for(ctx):
                 if p.is_allocated and p.device_id == device.device_id:
                     allocated += p.size
                     dirty += p.dirty_bytes()
-        return dirty / allocated if allocated else 0.0
+        frac = dirty / allocated if allocated else 0.0
+        self._dirty_frac_cache[device.device_id] = frac
+        return frac
 
     # ------------------------------------------------------------------
     # binding

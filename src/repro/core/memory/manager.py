@@ -1074,9 +1074,7 @@ class MemoryManager:
                 )
                 self.stats.p2p_bytes += nbytes
             yield from src_vgpu.free(old_ptr)
-            pte.device_ptr = new_ptr
-            pte.device_id = dst_vgpu.device.device_id
-            pte.check_invariants()
+            pte.relocate_device(new_ptr, dst_vgpu.device.device_id)
         return True
 
     # ------------------------------------------------------------------

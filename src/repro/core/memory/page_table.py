@@ -111,6 +111,7 @@ class PageTableEntry:
         "prefetched",
         "chunks",
         "device_id",
+        "_table",
     )
 
     def __init__(
@@ -149,6 +150,11 @@ class PageTableEntry:
         #: resident).  Per-device residency accounting for the
         #: transfer-cost model (§4.4 locality-aware binding).
         self.device_id: Optional[int] = None
+        #: Owning PageTable (set by create_entry; None for standalone
+        #: entries in unit tests).  Lets every state transition advance
+        #: the table's residency epoch, which invalidates memoized
+        #: TransferCostModel evaluations.
+        self._table: Optional["PageTable"] = None
 
     # -- state machine (Figure 4) --------------------------------------
     @property
@@ -158,6 +164,11 @@ class PageTableEntry:
     @property
     def chunked(self) -> bool:
         return self.chunks is not None
+
+    def _bump(self) -> None:
+        table = self._table
+        if table is not None:
+            table.epoch += 1
 
     def check_invariants(self) -> None:
         if self.is_allocated and self.device_ptr is None:
@@ -185,6 +196,7 @@ class PageTableEntry:
 
     def on_host_write(self) -> None:
         """copy_HD intercepted: the swap copy is now authoritative."""
+        self._bump()
         self.to_copy_2dev = True
         self.to_copy_2swap = False
         self.check_invariants()
@@ -192,6 +204,7 @@ class PageTableEntry:
     def on_device_allocated(
         self, device_ptr: int, device_id: Optional[int] = None
     ) -> None:
+        self._bump()
         self.is_allocated = True
         self.device_ptr = device_ptr
         self.device_id = device_id
@@ -200,12 +213,14 @@ class PageTableEntry:
     def on_copied_to_device(self) -> None:
         """The deferred H2D transfer happened (launch preparation)."""
         assert self.is_allocated
+        self._bump()
         self.to_copy_2dev = False
         self.check_invariants()
 
     def on_kernel_write(self, now: float) -> None:
         """A launch referenced this entry as writable."""
         assert self.is_allocated and not self.to_copy_2dev
+        self._bump()
         self.to_copy_2swap = True
         self._touch(now)
         self.check_invariants()
@@ -218,12 +233,14 @@ class PageTableEntry:
 
     def on_copied_to_swap(self) -> None:
         """The dirty device copy was written back (copy_DH / checkpoint)."""
+        self._bump()
         self.to_copy_2swap = False
         self.check_invariants()
 
     def on_device_released(self) -> None:
         """Device memory freed (swap-out); swap copy is authoritative."""
         assert not self.to_copy_2swap, "must write back before releasing"
+        self._bump()
         self.is_allocated = False
         self.device_ptr = None
         self.device_id = None
@@ -234,6 +251,15 @@ class PageTableEntry:
                 if c.valid:
                     c.to_copy_2dev = True
             self._sync_flags()
+        self.check_invariants()
+
+    def relocate_device(self, device_ptr: int, device_id: int) -> None:
+        """The device copy moved (peer-to-peer migration): same data and
+        flags, new physical home."""
+        assert self.is_allocated
+        self._bump()
+        self.device_ptr = device_ptr
+        self.device_id = device_id
         self.check_invariants()
 
     def _touch(self, now: float) -> None:
@@ -285,6 +311,7 @@ class PageTableEntry:
         if self.chunks is None:
             self.on_host_write()
             return
+        self._bump()
         covered = self.size if nbytes is None else min(nbytes, self.size)
         for c in self.chunks:
             if c.offset < covered:
@@ -304,6 +331,7 @@ class PageTableEntry:
         if self.chunks is None:
             self.on_kernel_write(now)
             return
+        self._bump()
         assert self.is_allocated and not self.to_copy_2dev
         if not any(c.valid for c in self.chunks):
             for c in self.chunks:
@@ -339,6 +367,7 @@ class PageTableEntry:
         if self.chunks is None:
             self.on_copied_to_device()
             return
+        self._bump()
         for c in self._chunks_in(run):
             c.to_copy_2dev = False
         self._sync_flags()
@@ -356,6 +385,7 @@ class PageTableEntry:
         if self.chunks is None:
             self.on_copied_to_swap()
             return
+        self._bump()
         for c in self._chunks_in(run):
             c.to_copy_2swap = False
         self._sync_flags()
@@ -371,6 +401,7 @@ class PageTableEntry:
 
     def discard_device_dirty(self) -> None:
         """Drop device-dirty state without writing back (cudaFree)."""
+        self._bump()
         if self.chunks is None:
             self.to_copy_2swap = False
             return
@@ -381,6 +412,7 @@ class PageTableEntry:
     def drop_device_state(self) -> None:
         """The device copy is lost (device failure): swap-resident data
         becomes authoritative, without any device operation."""
+        self._bump()
         self.is_allocated = False
         self.device_ptr = None
         self.device_id = None
@@ -425,6 +457,11 @@ class PageTable:
     """
 
     def __init__(self):
+        #: Residency epoch: advanced by every PTE state transition and by
+        #: entry creation/removal.  Consumers (TransferCostModel) key
+        #: memoized whole-table aggregates by it; any change anywhere in
+        #: the table invalidates them.
+        self.epoch = 0
         self._by_context: Dict[Any, List[PageTableEntry]] = {}
         self._by_vptr: Dict[int, PageTableEntry] = {}
         self._vptr_cursor = VIRTUAL_BASE
@@ -450,6 +487,8 @@ class PageTable:
     ) -> PageTableEntry:
         vptr = self.assign_virtual_address(size)
         pte = PageTableEntry(vptr, size, entry_type, params)
+        pte._table = self
+        self.epoch += 1
         self._by_context.setdefault(ctx, []).append(pte)
         self._by_vptr[vptr] = pte
         return pte
@@ -467,11 +506,13 @@ class PageTable:
         return list(self._by_context.get(ctx, ()))
 
     def remove_entry(self, ctx: Any, pte: PageTableEntry) -> None:
+        self.epoch += 1
         self._by_context.get(ctx, []).remove(pte)
         del self._by_vptr[pte.virtual_ptr]
 
     def drop_context(self, ctx: Any) -> List[PageTableEntry]:
         """Remove and return every PTE of ``ctx`` (application exit)."""
+        self.epoch += 1
         entries = self._by_context.pop(ctx, [])
         for pte in entries:
             self._by_vptr.pop(pte.virtual_ptr, None)

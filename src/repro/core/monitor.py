@@ -11,7 +11,7 @@ occupancy, queue lengths and memory state, plus the one-shot
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Generator, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.runtime import NodeRuntime
 
@@ -72,34 +72,41 @@ class RuntimeMonitor:
         self.env = runtime.env
         self.samples: List[Sample] = []
         self._stopped = False
-        self._process = None
+        self._timer = None
         self._last_busy: Dict[int, float] = {}
         self._last_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     def start(self, period: float, horizon: Optional[float] = None) -> None:
+        """Sample every ``period`` seconds on the node's timer wheel.
+
+        Ticks multiplex onto the runtime's shared
+        :class:`~repro.sim.timers.TimerWheel`, so the monitor costs one
+        pending kernel event only while it is the earliest armed timer.
+        """
         if period <= 0:
             raise ValueError("period must be positive")
-        if self._process is not None and self._process.is_alive:
+        if self._timer is not None and self._timer.active:
             raise RuntimeError("monitor already running; stop() it first")
         self._stopped = False
-        self._process = self.env.process(
-            self._run(period, horizon), name=f"monitor-{self.runtime.name}"
-        )
+        if horizon is not None and horizon <= 0:
+            return
+        started = self.env.now
+
+        def tick() -> None:
+            # stop() may have been called during the period; no final
+            # sample, and cancelling here drops the recurring timer.
+            if self._stopped:
+                self._timer.cancel()
+                return
+            self.take_sample()
+            if horizon is not None and self.env.now - started >= horizon:
+                self._timer.cancel()
+
+        self._timer = self.runtime.timers.every(period, tick)
 
     def stop(self) -> None:
         self._stopped = True
-
-    def _run(self, period: float, horizon: Optional[float]) -> Generator:
-        started = self.env.now
-        while not self._stopped:
-            if horizon is not None and self.env.now - started >= horizon:
-                return
-            yield self.env.timeout(period)
-            # stop() may have been called while we slept; no final sample.
-            if self._stopped:
-                return
-            self.take_sample()
 
     # ------------------------------------------------------------------
     def take_sample(self) -> Sample:

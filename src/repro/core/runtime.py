@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Generator, List, Optional, Set
 
-from repro.sim import Environment
+from repro.sim import Environment, TimerWheel
 from repro.simcuda.device import GPUDevice, GPUSpec
 from repro.simcuda.driver import CudaDriver
 
@@ -48,6 +48,10 @@ class NodeRuntime:
         self.driver = driver
         self.config = config or RuntimeConfig()
         self.name = name or f"runtime{next(_runtime_seq)}"
+        #: Shared timer wheel: every recurring tick on this node (monitor
+        #: sampling, the CPU-phase reaper's rescan) multiplexes onto one
+        #: pending kernel Timeout instead of one per timer.
+        self.timers = TimerWheel(env)
         self.stats = RuntimeStats()
         #: Structured event bus (repro.obs); disabled unless configured.
         self.obs = Tracer(env, enabled=self.config.tracing, node=self.name)
@@ -167,7 +171,7 @@ class NodeRuntime:
         self.connections.start()
         self.dispatcher.start()
         if self.config.unbind_on_cpu_phase_s is not None:
-            self.env.process(self._cpu_phase_reaper(), name=f"{self.name}-reaper")
+            self._reaper_idle()
 
     @property
     def listener(self):
@@ -268,20 +272,23 @@ class NodeRuntime:
         if self.obs.enabled:
             self.obs.engine_span(device, engine, op, nbytes, owner, begin_at)
 
-    def _cpu_phase_reaper(self) -> Generator:
-        """Optional: unbind contexts lingering in CPU phases while others
-        wait for a vGPU (time-sharing beyond memory pressure)."""
+    def _reaper_idle(self, _event=None) -> None:
+        """CPU-phase reaper, idle half: unbind contexts lingering in CPU
+        phases while others wait for a vGPU (time-sharing beyond memory
+        pressure).  While nobody queues, park on the scheduler's
+        ``waiting_added`` condition — a recurring rescan would keep the
+        event queue alive past the last application."""
+        if self.scheduler.waiting_count == 0:
+            self.scheduler.waiting_added.wait().callbacks.append(self._reaper_idle)
+            return
         threshold = self.config.unbind_on_cpu_phase_s
-        while True:
-            if self.scheduler.waiting_count == 0:
-                # Sleep until someone actually queues for a vGPU; polling
-                # forever would keep the event queue alive past the last
-                # application.
-                yield self.scheduler.waiting_added.wait()
-                continue
-            yield self.env.timeout(max(threshold / 2, 1e-3))
-            if self.scheduler.waiting_count == 0:
-                continue
+        self.timers.call_after(max(threshold / 2, 1e-3), self._reaper_scan)
+
+    def _reaper_scan(self) -> None:
+        """CPU-phase reaper, active half: one rescan tick off the node's
+        timer wheel."""
+        threshold = self.config.unbind_on_cpu_phase_s
+        if self.scheduler.waiting_count > 0:
             for ctx in self.scheduler.bound_contexts():
                 if (
                     ctx.in_cpu_phase
@@ -291,6 +298,7 @@ class NodeRuntime:
                     and ctx.state is ContextState.ASSIGNED
                 ):
                     self.env.process(self._reap(ctx), name=f"reap-{ctx.owner}")
+        self._reaper_idle()
 
     def _reap(self, ctx: Context) -> Generator:
         yield ctx.lock.acquire()

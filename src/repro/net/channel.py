@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Generator
 
-from repro.sim import Environment, Store
+from repro.sim import Environment, Event, Store
 
 __all__ = ["LinkSpec", "Channel", "AFUNIX_LINK", "TCP_GBE_LINK", "TCP_10GBE_LINK"]
 
@@ -88,17 +88,20 @@ class Channel:
         """
         if self.closed:
             raise ConnectionError(f"channel over {self.link.name} is closed")
-        # Serialize on the transmitter.
-        while not self._tx_free.processed:
+        env = self.env
+        # Serialize on the transmitter (``callbacks is None`` is the
+        # processed check, minus the property call — this is the
+        # simulator's single hottest wait loop).
+        while self._tx_free.callbacks is not None:
             yield self._tx_free
-        self._tx_free = self.env.event()
+        self._tx_free = Event(env)
         try:
-            yield self.env.timeout(self.link.transmit_seconds(nbytes))
+            yield env.timeout(self.link.transmit_seconds(nbytes))
             self.messages_sent += 1
             self.bytes_sent += nbytes
             if self.on_activity is not None:
                 self.on_activity("send", nbytes, self.pending)
-            self.env.process(self._deliver(payload))
+            env.process(self._deliver(payload))
         finally:
             self._tx_free.succeed()
 

@@ -22,7 +22,7 @@ _trace_ids = itertools.count(1)
 HEADER_BYTES = 64
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Request:
     """One marshalled call.
 
@@ -47,7 +47,7 @@ class Request:
         return HEADER_BYTES + self.payload_bytes
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Response:
     """The return code / value of a call."""
 

@@ -30,11 +30,13 @@ from repro.sim.core import (
     Process,
     SimulationError,
     Timeout,
+    Waiter,
 )
 from repro.sim.profile import SimProfiler
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.sync import Condition, FifoQueue, Lock, Semaphore
 from repro.sim.rng import RngStreams
+from repro.sim.timers import TimerHandle, TimerWheel
 
 __all__ = [
     "AllOf",
@@ -54,5 +56,8 @@ __all__ = [
     "SimProfiler",
     "SimulationError",
     "Store",
+    "TimerHandle",
+    "TimerWheel",
     "Timeout",
+    "Waiter",
 ]

@@ -6,6 +6,23 @@ resumed with the event's value (or the event's exception is thrown into
 the generator).  The :class:`Environment` advances the virtual clock from
 event to event; nothing in this package ever consults wall-clock time.
 
+Event lifecycle
+---------------
+An event is *pending* until it is triggered (:meth:`Event.succeed` /
+:meth:`Event.fail`), *triggered* until its callbacks run, and
+*processed* afterwards.  A pending event may instead be *cancelled*
+(:meth:`Event.cancel`): it will never fire, and triggering it afterwards
+is an error.  Cancellation is what keeps the event queue clean — the
+losing branch of an :class:`AnyOf`, the original target of an
+interrupted process, and abandoned sync-primitive waiters all cancel
+instead of lingering as ghost events that pop through the heap and
+consume wake-ups meant for live waiters.
+
+Scheduled events (timeouts) are removed from the heap *lazily*: cancel
+is O(1), the dead entry is skipped when popped, and the queue is
+compacted in O(n) when cancelled entries pile up — the classic
+indexed-heap lazy-deletion scheme, O(log n) amortized per cancel.
+
 Example
 -------
 >>> env = Environment()
@@ -20,6 +37,7 @@ Example
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
@@ -27,6 +45,7 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 __all__ = [
     "Environment",
     "Event",
+    "Waiter",
     "Timeout",
     "Process",
     "Interrupt",
@@ -43,6 +62,10 @@ PENDING = object()
 #: of a process happens before ordinary events scheduled at the same time.
 URGENT = 0
 NORMAL = 1
+
+#: Compact the event queue once more than this many cancelled entries
+#: are buried in it (and they are the majority of the heap).
+_COMPACT_THRESHOLD = 64
 
 
 class SimulationError(Exception):
@@ -66,7 +89,9 @@ class Event:
 
     An event starts *pending*, becomes *triggered* once :meth:`succeed` or
     :meth:`fail` is called (which also schedules it on the environment
-    queue), and becomes *processed* once its callbacks have run.
+    queue), and becomes *processed* once its callbacks have run.  A
+    pending event can be :meth:`cancel`\\ led instead, after which it will
+    never fire.
 
     Attributes
     ----------
@@ -77,6 +102,17 @@ class Event:
         ``None`` after processing.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_cancelled", "_on_cancel")
+
+    #: Value a deferred event (Timeout) fires with; read by the run loop
+    #: when it pops an event whose value is still PENDING.
+    _pending_value: Any = None
+    #: Whether losing all callbacks (interrupt diversion, AnyOf
+    #: resolution) auto-cancels the event.  Opt-in: True for Timeouts and
+    #: sync-primitive waiters, False for bare signal events that someone
+    #: may still trigger later.
+    _auto_cancel = False
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -85,6 +121,10 @@ class Event:
         #: Set to True by a consumer (e.g. Process) that takes ownership
         #: of a failure; unhandled failures crash the environment.
         self.defused = False
+        self._cancelled = False
+        #: Invoked with the event when it is cancelled (sync primitives
+        #: use it to purge the waiter from their queues immediately).
+        self._on_cancel: Optional[Callable[["Event"], None]] = None
 
     # -- state -----------------------------------------------------------
     @property
@@ -96,6 +136,11 @@ class Event:
     def processed(self) -> bool:
         """True once callbacks have been invoked."""
         return self.callbacks is None
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled (it will never fire)."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -114,22 +159,28 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
+        if self._cancelled:
+            raise SimulationError(f"{self!r} is cancelled and can never fire")
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0)
+        env = self.env
+        heapq.heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
         if not isinstance(exception, BaseException):
             raise SimulationError(f"{exception!r} is not an exception")
+        if self._cancelled:
+            raise SimulationError(f"{self!r} is cancelled and can never fire")
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0)
+        env = self.env
+        heapq.heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -139,6 +190,49 @@ class Event:
         else:
             self.fail(event._value)
 
+    # -- cancellation ----------------------------------------------------
+    def cancel(self) -> "Event":
+        """Cancel a pending event: it will never fire.
+
+        Idempotent on an already-cancelled event.  Raises
+        :class:`SimulationError` once the event has been triggered or
+        processed — a fired event cannot be unfired.
+
+        Cancelling a scheduled event (a :class:`Timeout`) removes it from
+        the queue lazily: the heap entry is skipped on pop and compacted
+        away in bulk when dead entries accumulate.
+        """
+        if self._cancelled:
+            return self
+        if self.callbacks is None or self._value is not PENDING:
+            raise SimulationError(f"cannot cancel {self!r}: already triggered")
+        self._cancelled = True
+        hook, self._on_cancel = self._on_cancel, None
+        if hook is not None:
+            hook(self)
+        if isinstance(self, Timeout):
+            env = self.env
+            env._ncancelled += 1
+            if (
+                env._ncancelled > _COMPACT_THRESHOLD
+                and env._ncancelled * 2 > len(env._queue)
+            ):
+                env._compact()
+        return self
+
+    def _detach(self, callback: Callable[["Event"], None]) -> None:
+        """Remove one consumer's callback; auto-cancel an opted-in event
+        that nobody is left waiting on."""
+        cbs = self.callbacks
+        if cbs is None:
+            return
+        try:
+            cbs.remove(callback)
+        except ValueError:
+            pass
+        if not cbs and self._auto_cancel and not self._cancelled and self._value is PENDING:
+            self.cancel()
+
     # -- composition -----------------------------------------------------
     def __and__(self, other: "Event") -> "AllOf":
         return AllOf(self.env, [self, other])
@@ -147,21 +241,52 @@ class Event:
         return AnyOf(self.env, [self, other])
 
     def __repr__(self) -> str:
-        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        if self._cancelled:
+            state = "cancelled"
+        else:
+            state = "processed" if self.processed else (
+                "triggered" if self.triggered else "pending"
+            )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class Waiter(Event):
+    """An event representing a queued waiter of a sync primitive.
+
+    Identical to :class:`Event` except that it cancels itself when its
+    last consumer detaches — the waiter of a ``Lock``/``Condition``/
+    ``Store`` whose process was interrupted, or whose ``AnyOf`` already
+    resolved, must not stay queued to swallow a wake-up or a permit.
+    """
+
+    __slots__ = ()
+    _auto_cancel = True
+
+
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    The value is applied when the timeout is *popped*, not at creation,
+    so a pending timeout can be cancelled (losing ``any_of`` branches,
+    rescheduled timers).
+    """
+
+    __slots__ = ("_delay", "_pending_value")
+    _auto_cancel = True
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
+        self._cancelled = False
+        self._on_cancel = None
         self._delay = delay
-        self._ok = True
-        self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._pending_value = value
+        heapq.heappush(env._queue, (env._now + delay, NORMAL, next(env._seq), self))
 
     @property
     def delay(self) -> float:
@@ -171,12 +296,17 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal: the event that starts a newly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume_cb]
         self._value = None
-        env._schedule(self, URGENT, 0)
+        self._ok = True
+        self.defused = False
+        self._cancelled = False
+        self._on_cancel = None
+        heapq.heappush(env._queue, (env._now, URGENT, next(env._seq), self))
 
 
 class Process(Event):
@@ -187,6 +317,8 @@ class Process(Event):
     an uncaught exception fails it.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_resume_cb", "_profile_key")
+
     def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
@@ -196,6 +328,12 @@ class Process(Event):
         #: The event the process is currently waiting on (None when ready
         #: to run or terminated).
         self._target: Optional[Event] = None
+        #: The one bound-method object used for all callback registration,
+        #: so detaching compares identically and allocates nothing.
+        self._resume_cb = self._resume
+        #: Hotspot family for the self-profiler, computed once instead of
+        #: per event ("serve-app#3" -> "serve-app#").
+        self._profile_key = self.name.rstrip("0123456789")
         Initialize(env, self)
 
     @property
@@ -220,12 +358,13 @@ class Process(Event):
         if self.env.active_process is self:
             raise SimulationError("a process cannot interrupt itself")
 
-        interrupt_event = Event(self.env)
+        env = self.env
+        interrupt_event = Event(env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event.defused = True
-        interrupt_event.callbacks.append(self._resume)
-        self.env._schedule(interrupt_event, URGENT, 0)
+        interrupt_event.callbacks.append(self._resume_cb)
+        heapq.heappush(env._queue, (env._now, URGENT, next(env._seq), interrupt_event))
 
     def _resume(self, event: Event) -> None:
         """Resume the generator with the outcome of ``event``."""
@@ -233,37 +372,44 @@ class Process(Event):
         # terminated at the same timestep, or the process may have been
         # resumed by an interrupt while its original target is still
         # scheduled.  Detect and ignore.
-        if not self.is_alive:
+        if self._value is not PENDING:
             return
-        if self._target is not None and event is not self._target and not isinstance(
-            event._value, Interrupt
-        ):
-            return
+        target = self._target
+        if target is not None and event is not target:
+            if not isinstance(event._value, Interrupt):
+                return
+            # Diverted by an interrupt: detach from the old target.  A
+            # waiter or timeout nobody else consumes cancels itself there,
+            # so it stops occupying the heap / its primitive's queue.
+            target._detach(self._resume_cb)
+        self._target = None
 
-        # Remove us from the old target's callbacks if we were diverted by
-        # an interrupt.
-        if isinstance(event._value, Interrupt) and self._target is not None:
-            if self._target.callbacks is not None and self._resume in self._target.callbacks:
-                self._target.callbacks.remove(self._resume)
-
-        self.env._active_process = self
+        env = self.env
+        gen = self._generator
+        env._active_process = self
         try:
             while True:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = gen.send(event._value)
                 else:
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = gen.throw(event._value)
 
                 if not isinstance(target, Event):
                     raise SimulationError(
                         f"process {self.name!r} yielded a non-event: {target!r}"
                     )
-                if target.processed:
+                if target._cancelled:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded a cancelled event; "
+                        f"it can never fire"
+                    )
+                cbs = target.callbacks
+                if cbs is None:
                     # Already done: loop immediately with its outcome.
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                cbs.append(self._resume_cb)
                 self._target = target
                 return
         except StopIteration as exc:
@@ -273,20 +419,32 @@ class Process(Event):
             self._target = None
             self.fail(exc)
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
 
 class ConditionEvent(Event):
     """Base for AnyOf/AllOf composite events.
 
     The composite's value is a dict mapping each *triggered* constituent
-    event to its value, in trigger order.
+    event to its value, in trigger order.  When the composite resolves
+    (or is cancelled), it detaches from its still-pending constituents;
+    a constituent nobody else consumes cancels itself — so the losing
+    branch of an ``any_of([timeout, cond.wait()])`` leaves both the heap
+    and the condition's waiter queue instead of lingering as a ghost.
     """
+
+    __slots__ = ("_events", "_done", "_cb")
+    #: An abandoned composite (its waiting process was interrupted away)
+    #: cancels itself, which detaches — and thereby cancels — its still
+    #: pending constituents too.
+    _auto_cancel = True
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
         self._done: List[Event] = []
+        self._cb = self._on_event
+        self._on_cancel = self._detach_pending
         for ev in self._events:
             if ev.env is not env:
                 raise SimulationError("events from different environments")
@@ -299,26 +457,39 @@ class ConditionEvent(Event):
                 if self.triggered:
                     break
             else:
-                ev.callbacks.append(self._on_event)
+                ev.callbacks.append(self._cb)
 
     @staticmethod
     def _check(done: int, total: int) -> bool:
         raise NotImplementedError
 
+    def _detach_pending(self, _event: Optional[Event] = None) -> None:
+        """Stop consuming the constituents that have not fired yet."""
+        for ev in self._events:
+            if ev.callbacks is not None and not ev.triggered:
+                ev._detach(self._cb)
+
     def _on_event(self, event: Event) -> None:
-        if self.triggered:
+        # A constituent that was already triggered when this composite
+        # resolved (or was cancelled) still delivers its callback; ignore
+        # it — failures stay undefused so they are not silently dropped.
+        if self.triggered or self._cancelled:
             return
         if not event.ok:
             event.defused = True
             self.fail(event.value)
+            self._detach_pending()
             return
         self._done.append(event)
         if self._check(len(self._done), len(self._events)):
             self.succeed({ev: ev.value for ev in self._done})
+            self._detach_pending()
 
 
 class AnyOf(ConditionEvent):
     """Fires when any constituent event fires."""
+
+    __slots__ = ()
 
     @staticmethod
     def _check(done: int, total: int) -> bool:
@@ -327,6 +498,8 @@ class AnyOf(ConditionEvent):
 
 class AllOf(ConditionEvent):
     """Fires when all constituent events have fired."""
+
+    __slots__ = ()
 
     @staticmethod
     def _check(done: int, total: int) -> bool:
@@ -347,8 +520,10 @@ class Environment:
         self._queue: List = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Cancelled entries buried in the queue (compaction trigger).
+        self._ncancelled = 0
         #: Optional self-profiler (:class:`repro.sim.profile.SimProfiler`);
-        #: when set, :meth:`step` reports every popped event to it.  The
+        #: when set, the run loop reports every popped event to it.  The
         #: profiler observes wall-clock only and never touches sim time.
         self.profiler = None
 
@@ -386,24 +561,60 @@ class Environment:
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
 
+    def _compact(self) -> None:
+        """Rebuild the queue without the lazily-deleted cancelled entries.
+
+        In place (slice assignment): the run loop and ``succeed``/``fail``
+        hold direct references to the list, so rebinding ``self._queue``
+        here would strand every event pushed after the compaction on a
+        list nobody drains — the simulation would "run dry" mid-flight.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[3]._cancelled]
+        heapq.heapify(queue)
+        self._ncancelled = 0
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled (live) event, or ``inf`` if none."""
+        queue = self._queue
+        while queue:
+            if queue[0][3]._cancelled:
+                heapq.heappop(queue)
+                self._ncancelled -= 1
+                continue
+            return queue[0][0]
+        return float("inf")
+
+    def _pop(self) -> Optional[Event]:
+        """Pop the next live event, advance the clock, fire deferred
+        values.  Returns None when the queue holds only cancelled
+        entries."""
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            when, _prio, _seq, event = pop(queue)
+            if event._cancelled:
+                self._ncancelled -= 1
+                continue
+            self._now = when
+            if event._value is PENDING:  # deferred (Timeout) value
+                event._ok = True
+                event._value = event._pending_value
+            return event
+        return None
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        event = self._pop()
+        if event is None:
             raise SimulationError("no scheduled events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        self._now = when
         if self.profiler is not None:
             self.profiler.on_event(event, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event.defused:
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -411,25 +622,79 @@ class Environment:
         ``until`` may be ``None`` (run to queue exhaustion), a number (run
         until that simulated time), or an :class:`Event` (run until it
         triggers, returning its value).
+
+        The garbage collector is paused for the duration of the loop:
+        the kernel's object graph is reference-counted (callbacks are
+        detached as events resolve), and generational GC passes over the
+        live heap are pure overhead on the hot path.
         """
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(until)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, until: Any) -> Any:
+        queue = self._queue
+        pop = heapq.heappop
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _prio, _seq, event = pop(queue)
+                if event._cancelled:
+                    self._ncancelled -= 1
+                    continue
+                self._now = when
+                if event._value is PENDING:
+                    event._ok = True
+                    event._value = event._pending_value
+                profiler = self.profiler
+                if profiler is not None:
+                    profiler.on_event(event, len(queue))
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
             return None
+
         if isinstance(until, Event):
-            while not until.processed:
-                if not self._queue:
+            while until.callbacks is not None:
+                if until._cancelled:
+                    raise SimulationError(
+                        f"{until!r} was cancelled and will never trigger"
+                    )
+                if not queue:
                     raise SimulationError("event never triggered; queue exhausted")
                 self.step()
             if not until.ok:
                 until.defused = True
                 raise until.value
             return until.value
+
         # numeric horizon
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(f"until={horizon} lies in the past (now={self._now})")
-        while self._queue and self.peek() <= horizon:
-            self.step()
+        while queue and queue[0][0] <= horizon:
+            when, _prio, _seq, event = pop(queue)
+            if event._cancelled:
+                self._ncancelled -= 1
+                continue
+            self._now = when
+            if event._value is PENDING:
+                event._ok = True
+                event._value = event._pending_value
+            profiler = self.profiler
+            if profiler is not None:
+                profiler.on_event(event, len(queue))
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
         self._now = horizon
         return None

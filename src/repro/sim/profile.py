@@ -24,8 +24,6 @@ from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["SimProfiler"]
 
-_DIGITS = "0123456789"
-
 
 class SimProfiler:
     """Counts DES kernel activity; attach to an Environment, then report.
@@ -51,7 +49,14 @@ class SimProfiler:
 
     # ------------------------------------------------------------------
     def attach(self, env: Any) -> "SimProfiler":
-        """Start profiling ``env`` (replaces any previous profiler)."""
+        """Start profiling ``env`` (replaces any previous profiler).
+
+        Re-attaching (same or different environment) folds the interval
+        accumulated since the previous :meth:`attach` into the running
+        totals first — a double attach must not discard measured time.
+        """
+        if self._env is not None:
+            self.detach()
         self._env = env
         env.profiler = self
         self._wall_start = time.perf_counter()
@@ -72,22 +77,30 @@ class SimProfiler:
 
     # ------------------------------------------------------------------
     def on_event(self, event: Any, queue_depth: int) -> None:
-        """Called by ``Environment.step`` for every popped event."""
+        """Called by the run loop for every popped event.
+
+        This runs once per event while tracing, so it must stay cheap:
+        Process precomputes its hotspot family key (``_profile_key``);
+        everything else falls back to the event type name.
+        """
         self.events_processed += 1
         self.queue_depth_sum += queue_depth
         if queue_depth > self.queue_depth_peak:
             self.queue_depth_peak = queue_depth
-        key = None
         callbacks = event.callbacks
         if callbacks:
-            cb = callbacks[0]
-            proc = getattr(cb, "__self__", None)
-            name = getattr(proc, "name", None)
-            if name:
-                key = name.rstrip(_DIGITS)
-        if key is None:
+            key = getattr(
+                getattr(callbacks[0], "__self__", None), "_profile_key", None
+            )
+            if key is None:
+                key = type(event).__name__
+        else:
             key = type(event).__name__
-        self.hotspots[key] = self.hotspots.get(key, 0) + 1
+        hot = self.hotspots
+        try:
+            hot[key] += 1
+        except KeyError:
+            hot[key] = 1
 
     # ------------------------------------------------------------------
     def _elapsed(self) -> Tuple[float, float]:

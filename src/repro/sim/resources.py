@@ -9,10 +9,16 @@ Three families, mirroring what the cluster/GPU models need:
 - :class:`Container` — a homogeneous amount of "stuff" (bytes of device
   memory at the coarse accounting level).
 - :class:`Store` — a FIFO of Python objects (message queues).
+
+All pending claims (requests, getters, putters) are auto-cancelling
+events: if the claiming process is interrupted, or the claim loses an
+``any_of`` race, the event cancels itself and drops out of the queue so
+a slot/item is never granted to a dead claimant.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Any, Deque, List, Optional
 
@@ -28,11 +34,15 @@ class Request(Event):
     request if still queued, or frees the slot if acquired.
     """
 
+    __slots__ = ("resource", "priority", "_order")
+    _auto_cancel = True
+
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
         self._order = next(resource._counter)
+        self._on_cancel = resource._drop_queued
         resource._do_request(self)
 
     def __enter__(self) -> "Request":
@@ -55,8 +65,6 @@ class Resource:
         self.capacity = capacity
         self.users: List[Request] = []
         self.queue: List[Request] = []
-        import itertools
-
         self._counter = itertools.count()
 
     @property
@@ -77,6 +85,13 @@ class Resource:
             self.queue.remove(request)
 
     # -- internal ---------------------------------------------------------
+    def _drop_queued(self, request: Request) -> None:
+        """Cancellation hook: a queued request's claimant went away."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self.capacity and not self.queue:
             self.users.append(request)
@@ -91,6 +106,8 @@ class Resource:
     def _grant_next(self) -> None:
         while self.queue and len(self.users) < self.capacity:
             nxt = self.queue.pop(0)
+            if nxt._cancelled:
+                continue
             self.users.append(nxt)
             nxt.succeed()
 
@@ -106,9 +123,14 @@ class PriorityResource(Resource):
 
 
 class ContainerEvent(Event):
-    def __init__(self, container: "Container", amount: float):
+    __slots__ = ("amount", "_queue")
+    _auto_cancel = True
+
+    def __init__(self, container: "Container", amount: float, queue: Deque):
         super().__init__(container.env)
         self.amount = amount
+        self._queue = queue
+        self._on_cancel = queue.remove
 
 
 class Container:
@@ -137,7 +159,7 @@ class Container:
     def put(self, amount: float) -> ContainerEvent:
         if amount < 0:
             raise SimulationError("negative amount")
-        ev = ContainerEvent(self, amount)
+        ev = ContainerEvent(self, amount, self._putters)
         self._putters.append(ev)
         self._settle()
         return ev
@@ -145,7 +167,7 @@ class Container:
     def get(self, amount: float) -> ContainerEvent:
         if amount < 0:
             raise SimulationError("negative amount")
-        ev = ContainerEvent(self, amount)
+        ev = ContainerEvent(self, amount, self._getters)
         self._getters.append(ev)
         self._settle()
         return ev
@@ -167,13 +189,24 @@ class Container:
 
 
 class StoreGet(Event):
-    pass
+    __slots__ = ("_store",)
+    _auto_cancel = True
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self._store = store
+        self._on_cancel = store._getters.remove
 
 
 class StorePut(Event):
-    def __init__(self, env: Environment, item: Any):
-        super().__init__(env)
+    __slots__ = ("item", "_store")
+    _auto_cancel = True
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
         self.item = item
+        self._store = store
+        self._on_cancel = store._putters.remove
 
 
 class Store:
@@ -192,27 +225,30 @@ class Store:
         return len(self.items)
 
     def put(self, item: Any) -> StorePut:
-        ev = StorePut(self.env, item)
+        ev = StorePut(self, item)
         self._putters.append(ev)
         self._settle()
         return ev
 
     def get(self) -> StoreGet:
-        ev = StoreGet(self.env)
+        ev = StoreGet(self)
         self._getters.append(ev)
         self._settle()
         return ev
 
     def _settle(self) -> None:
+        items = self.items
+        getters = self._getters
+        putters = self._putters
         progress = True
         while progress:
             progress = False
-            if self._putters and len(self.items) < self.capacity:
-                ev = self._putters.popleft()
-                self.items.append(ev.item)
+            if putters and len(items) < self.capacity:
+                ev = putters.popleft()
+                items.append(ev.item)
                 ev.succeed()
                 progress = True
-            if self._getters and self.items:
-                ev = self._getters.popleft()
-                ev.succeed(self.items.popleft())
+            if getters and items:
+                ev = getters.popleft()
+                ev.succeed(items.popleft())
                 progress = True

@@ -4,6 +4,13 @@ These mirror ``threading`` primitives but advance on virtual time.  The
 paper's runtime is heavily multithreaded (dispatcher threads, vGPU worker
 threads, per-connection handlers); these primitives make the Python model
 read like the original C++ while staying deterministic.
+
+Every queued waiter is a :class:`~repro.sim.core.Waiter` event: if the
+waiting process is interrupted, or the waiter was the losing branch of an
+``any_of``, the event cancels itself and the primitive drops it.  Wake-ups,
+lock ownership, and semaphore permits therefore always reach a *live*
+waiter — a ghost can neither swallow a ``notify()`` nor deadlock a
+``Lock`` by receiving an ownership transfer it will never release.
 """
 
 from __future__ import annotations
@@ -11,9 +18,17 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, Optional
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import Environment, Event, SimulationError, Waiter
 
 __all__ = ["Lock", "Semaphore", "Condition", "FifoQueue"]
+
+
+def _waiter(env: Environment, queue: Deque) -> Waiter:
+    """Enqueue a waiter that removes itself from ``queue`` if cancelled."""
+    ev = Waiter(env)
+    ev._on_cancel = queue.remove
+    queue.append(ev)
+    return ev
 
 
 class Lock:
@@ -33,34 +48,25 @@ class Lock:
         return self._locked
 
     def acquire(self) -> Event:
-        ev = Event(self.env)
         if not self._locked:
             self._locked = True
+            ev = Event(self.env)
             ev.succeed()
         else:
-            self._waiters.append(ev)
+            ev = _waiter(self.env, self._waiters)
         return ev
 
     def release(self) -> None:
         if not self._locked:
             raise SimulationError("release of unlocked Lock")
-        if self._waiters:
-            nxt = self._waiters.popleft()
+        waiters = self._waiters
+        while waiters:
+            nxt = waiters.popleft()
+            if nxt._cancelled:
+                continue
             nxt.succeed()  # ownership transfers; stays locked
-        else:
-            self._locked = False
-
-    def held(self) -> Generator:
-        """Process-style context: ``with (yield from lock.held()): ...`` is
-        not valid Python for generators, so use explicitly::
-
-            yield lock.acquire()
-            try:
-                ...
-            finally:
-                lock.release()
-        """
-        raise NotImplementedError("use acquire()/release() explicitly")
+            return
+        self._locked = False
 
 
 class Semaphore:
@@ -78,19 +84,23 @@ class Semaphore:
         return self._value
 
     def acquire(self) -> Event:
-        ev = Event(self.env)
         if self._value > 0:
             self._value -= 1
+            ev = Event(self.env)
             ev.succeed()
         else:
-            self._waiters.append(ev)
+            ev = _waiter(self.env, self._waiters)
         return ev
 
     def release(self) -> None:
-        if self._waiters:
-            self._waiters.popleft().succeed()
-        else:
-            self._value += 1
+        waiters = self._waiters
+        while waiters:
+            nxt = waiters.popleft()
+            if nxt._cancelled:
+                continue
+            nxt.succeed()  # permit transfers directly
+            return
+        self._value += 1
 
 
 class Condition:
@@ -110,22 +120,29 @@ class Condition:
         return len(self._waiters)
 
     def wait(self) -> Event:
-        ev = Event(self.env)
-        self._waiters.append(ev)
-        return ev
+        return _waiter(self.env, self._waiters)
 
     def notify(self, value: Any = None) -> bool:
-        """Wake one waiter.  Returns True if someone was woken."""
-        if self._waiters:
-            self._waiters.popleft().succeed(value)
+        """Wake one *live* waiter.  Returns True if someone was woken."""
+        waiters = self._waiters
+        while waiters:
+            nxt = waiters.popleft()
+            if nxt._cancelled:
+                continue
+            nxt.succeed(value)
             return True
         return False
 
     def notify_all(self, value: Any = None) -> int:
-        """Wake all current waiters; returns how many."""
-        n = len(self._waiters)
-        while self._waiters:
-            self._waiters.popleft().succeed(value)
+        """Wake all current live waiters; returns how many."""
+        waiters = self._waiters
+        n = 0
+        while waiters:
+            nxt = waiters.popleft()
+            if nxt._cancelled:
+                continue
+            nxt.succeed(value)
+            n += 1
         return n
 
 
@@ -144,25 +161,31 @@ class FifoQueue:
     def __iter__(self):
         return iter(list(self._items))
 
+    def _wake_getter(self, item: Any) -> bool:
+        getters = self._getters
+        while getters:
+            nxt = getters.popleft()
+            if nxt._cancelled:
+                continue
+            nxt.succeed(item)
+            return True
+        return False
+
     def put(self, item: Any) -> None:
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
+        if not self._wake_getter(item):
             self._items.append(item)
 
     def put_front(self, item: Any) -> None:
         """Re-queue at the head (used when a dequeued context must retry)."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
+        if not self._wake_getter(item):
             self._items.appendleft(item)
 
     def get(self) -> Event:
-        ev = Event(self.env)
         if self._items:
+            ev = Event(self.env)
             ev.succeed(self._items.popleft())
         else:
-            self._getters.append(ev)
+            ev = _waiter(self.env, self._getters)
         return ev
 
     def try_get(self) -> Optional[Any]:

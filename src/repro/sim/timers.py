@@ -1,0 +1,172 @@
+"""Slot-based timer wheel for recurring ticks.
+
+The kernel's heap is priced per *scheduled event*: every periodic
+activity that sleeps via its own :class:`~repro.sim.core.Timeout` pays a
+heap push/pop per tick and keeps one pending entry alive per timer.  A
+:class:`TimerWheel` multiplexes any number of timers (monitor sampling,
+the CPU-phase reaper's rescan, future quantum watchdogs) onto a *single*
+pending kernel Timeout — the one for the earliest armed deadline.
+Handles live in coarse time slots (buckets keyed by ``when // slot_s``)
+so insertion and cancellation are O(1) dict/list operations, and
+``cancel()`` never touches the kernel heap.
+
+Timers fire at their *exact* requested time (slots are an index, not a
+quantization): the wheel re-arms its kernel Timeout for the earliest
+exact deadline, using :meth:`Event.cancel` when a newly inserted timer
+preempts the currently armed one — the cancelled Timeout is lazily
+deleted from the heap by the kernel.
+
+Determinism: handles due at the same instant fire in insertion order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.core import Environment, SimulationError, Timeout
+
+__all__ = ["TimerWheel", "TimerHandle"]
+
+
+class TimerHandle:
+    """One armed timer.  ``cancel()`` is O(1) and idempotent."""
+
+    __slots__ = ("when", "fn", "period", "_seq", "_cancelled")
+
+    def __init__(self, when: float, fn: Callable[[], None], period: Optional[float], seq: int):
+        self.when = when
+        self.fn = fn
+        #: None for one-shot; otherwise the timer re-arms ``period``
+        #: seconds after each firing until cancelled.
+        self.period = period
+        self._seq = seq
+        self._cancelled = False
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the timer; a recurring timer fires no further ticks."""
+        self._cancelled = True
+
+    def __repr__(self) -> str:
+        kind = "every" if self.period is not None else "at"
+        state = "cancelled" if self._cancelled else "armed"
+        return f"<TimerHandle {kind} {self.when:.6g} {state}>"
+
+
+class TimerWheel:
+    """Multiplexes many timers onto one pending kernel Timeout.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    slot_s:
+        Bucket granularity for the slot index.  Purely an internal
+        bookkeeping knob — firing times are exact regardless.
+    """
+
+    def __init__(self, env: Environment, slot_s: float = 1.0):
+        if slot_s <= 0:
+            raise SimulationError("slot_s must be positive")
+        self.env = env
+        self.slot_s = float(slot_s)
+        self._buckets: Dict[int, List[TimerHandle]] = {}
+        self._seq = itertools.count()
+        self._armed: Optional[Timeout] = None
+        self._armed_when = float("inf")
+
+    def __len__(self) -> int:
+        return sum(
+            1 for bucket in self._buckets.values() for h in bucket if not h._cancelled
+        )
+
+    # -- arming ----------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn()`` at simulated time ``when`` (one-shot)."""
+        if when < self.env.now:
+            raise SimulationError(f"call_at({when}) lies in the past (now={self.env.now})")
+        return self._insert(TimerHandle(when, fn, None, next(self._seq)))
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn()`` after ``delay`` simulated seconds (one-shot)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._insert(TimerHandle(self.env.now + delay, fn, None, next(self._seq)))
+
+    def every(
+        self, period: float, fn: Callable[[], None], first: Optional[float] = None
+    ) -> TimerHandle:
+        """Run ``fn()`` every ``period`` seconds until the handle is
+        cancelled.  The first tick fires after ``first`` seconds
+        (default: one full period)."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        delay = period if first is None else first
+        if delay < 0:
+            raise SimulationError(f"negative first delay {delay}")
+        return self._insert(TimerHandle(self.env.now + delay, fn, period, next(self._seq)))
+
+    # -- internals -------------------------------------------------------
+    def _insert(self, handle: TimerHandle) -> TimerHandle:
+        idx = int(handle.when / self.slot_s)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [handle]
+        else:
+            bucket.append(handle)
+        if handle.when < self._armed_when:
+            self._arm(handle.when)
+        return handle
+
+    def _arm(self, when: float) -> None:
+        prev = self._armed
+        if prev is not None and not prev._cancelled and not prev.triggered:
+            prev.cancel()  # lazily deleted from the kernel heap
+        timeout = Timeout(self.env, when - self.env.now)
+        timeout.callbacks.append(self._tick)
+        self._armed = timeout
+        self._armed_when = when
+
+    def _tick(self, _event) -> None:
+        now = self.env.now
+        self._armed = None
+        self._armed_when = float("inf")
+
+        due: List[TimerHandle] = []
+        cur = int(now / self.slot_s)
+        for idx in [i for i in self._buckets if i <= cur]:
+            bucket = self._buckets[idx]
+            keep: List[TimerHandle] = []
+            for h in bucket:
+                if h._cancelled:
+                    continue
+                (due if h.when <= now else keep).append(h)
+            if keep:
+                self._buckets[idx] = keep
+            else:
+                del self._buckets[idx]
+
+        due.sort(key=lambda h: (h.when, h._seq))
+        for handle in due:
+            if handle._cancelled:
+                continue
+            handle.fn()
+            if handle.period is not None and not handle._cancelled:
+                handle.when += handle.period
+                idx = int(handle.when / self.slot_s)
+                self._buckets.setdefault(idx, []).append(handle)
+
+        self._rearm()
+
+    def _rearm(self) -> None:
+        nxt = float("inf")
+        for bucket in self._buckets.values():
+            for h in bucket:
+                if not h._cancelled and h.when < nxt:
+                    nxt = h.when
+        if nxt < self._armed_when:
+            self._arm(nxt)

@@ -88,3 +88,41 @@ def test_report_limits_hotspot_rows():
     env.run()
     profiler.detach()
     assert len(profiler.report(top=5)["hotspots"]) <= 5
+
+
+def test_reattach_accumulates_instead_of_discarding():
+    """Regression: attach() called twice used to reset the wall/sim
+    clocks, silently discarding everything measured so far.  A second
+    attach now folds the first interval into the running totals."""
+    env = Environment()
+    profiler = SimProfiler()
+    profiler.attach(env)
+    env.process(_burn(env, 3), name="w")
+    env.run()
+    first = profiler.report()
+    assert first["sim_seconds"] == pytest.approx(3.0)
+
+    profiler.attach(env)  # second attach: must not discard the 3 s
+    env.process(_burn(env, 2), name="w")
+    env.run()
+    profiler.detach()
+    report = profiler.report()
+    assert report["sim_seconds"] == pytest.approx(5.0)
+    assert report["wall_seconds"] >= first["wall_seconds"]
+    assert report["events"] == profiler.events_processed
+
+
+def test_reattach_to_fresh_environment_keeps_totals():
+    env1 = Environment()
+    profiler = SimProfiler()
+    profiler.attach(env1)
+    env1.process(_burn(env1, 4), name="w")
+    env1.run()
+
+    env2 = Environment()
+    profiler.attach(env2)  # implicitly detaches from env1
+    assert env1.profiler is None
+    env2.process(_burn(env2, 6), name="w")
+    env2.run()
+    profiler.detach()
+    assert profiler.report()["sim_seconds"] == pytest.approx(10.0)

@@ -224,3 +224,215 @@ def test_fifoqueue_iter_snapshot():
     q.put(2)
     assert list(q) == [1, 2]
     assert len(q) == 2  # iteration does not consume
+
+
+# ---------------------------------------------------------------------------
+# ghost wake-ups (PR-7 regression tests)
+#
+# A process interrupted while queued on a primitive leaves a dead waiter
+# behind.  Before event cancellation, notify()/release() consumed the
+# wake-up on the ghost: a Condition signal was lost, and a Lock handed
+# ownership to a process that would never release it (deadlock).
+# ---------------------------------------------------------------------------
+
+def test_condition_notify_skips_interrupted_ghost_waiter():
+    """A real waiter queued behind an interrupted one still gets the
+    notification (the ghost must not swallow it)."""
+    from repro.sim import Interrupt
+
+    env = Environment()
+    cond = Condition(env)
+    woken = []
+
+    def ghost():
+        try:
+            yield cond.wait()
+            woken.append("ghost")
+        except Interrupt:
+            pass
+
+    def real():
+        v = yield cond.wait()
+        woken.append(("real", v))
+
+    g = env.process(ghost())
+
+    def driver():
+        yield env.timeout(1)   # both waiters queued, ghost first
+        g.interrupt()
+        yield env.timeout(1)
+        assert cond.notify("signal") is True
+
+    env.process(real())
+    env.process(driver())
+    env.run()
+    assert woken == [("real", "signal")]
+
+
+def test_condition_notify_all_counts_only_live_waiters():
+    from repro.sim import Interrupt
+
+    env = Environment()
+    cond = Condition(env)
+    woken = []
+
+    def waiter(name):
+        try:
+            yield cond.wait()
+            woken.append(name)
+        except Interrupt:
+            pass
+
+    procs = [env.process(waiter(n)) for n in "abc"]
+
+    def driver():
+        yield env.timeout(1)
+        procs[1].interrupt()  # "b" becomes a ghost
+        yield env.timeout(1)
+        assert cond.notify_all() == 2
+
+    env.process(driver())
+    env.run()
+    assert sorted(woken) == ["a", "c"]
+
+
+def test_lock_release_skips_interrupted_acquirer():
+    """Regression: interrupting a queued acquirer must not leave the
+    lock owned by the dead waiter.  The next queued acquirer gets it."""
+    from repro.sim import Interrupt
+
+    env = Environment()
+    lock = Lock(env)
+    order = []
+
+    def holder():
+        yield lock.acquire()
+        order.append("holder")
+        yield env.timeout(5)
+        lock.release()
+
+    def doomed():
+        try:
+            yield lock.acquire()
+            order.append("doomed")  # must never run
+            lock.release()
+        except Interrupt:
+            pass
+
+    def survivor():
+        yield lock.acquire()
+        order.append("survivor")
+        lock.release()
+
+    env.process(holder())
+    d = env.process(doomed())
+    env.process(survivor())
+
+    def driver():
+        yield env.timeout(1)  # doomed and survivor are both queued
+        d.interrupt()
+
+    env.process(driver())
+    env.run()
+    assert order == ["holder", "survivor"]
+    assert not lock.locked  # no ownership stranded on the ghost
+
+
+def test_semaphore_release_skips_interrupted_acquirer():
+    from repro.sim import Interrupt
+
+    env = Environment()
+    sem = Semaphore(env, value=1)
+    order = []
+
+    def holder():
+        yield sem.acquire()
+        order.append("holder")
+        yield env.timeout(5)
+        sem.release()
+
+    def doomed():
+        try:
+            yield sem.acquire()
+            order.append("doomed")
+        except Interrupt:
+            pass
+
+    def survivor():
+        yield sem.acquire()
+        order.append("survivor")
+        sem.release()
+
+    env.process(holder())
+    d = env.process(doomed())
+    env.process(survivor())
+
+    def driver():
+        yield env.timeout(1)
+        d.interrupt()
+
+    env.process(driver())
+    env.run()
+    assert order == ["holder", "survivor"]
+    assert sem.value == 1  # the permit was not lost on the ghost
+
+
+def test_fifoqueue_put_skips_interrupted_getter():
+    from repro.sim import Interrupt
+
+    env = Environment()
+    q = FifoQueue(env)
+    got = []
+
+    def doomed():
+        try:
+            got.append(("doomed", (yield q.get())))
+        except Interrupt:
+            pass
+
+    def survivor():
+        got.append(("survivor", (yield q.get())))
+
+    d = env.process(doomed())
+    env.process(survivor())
+
+    def driver():
+        yield env.timeout(1)  # both getters queued, doomed first
+        d.interrupt()
+        yield env.timeout(1)
+        q.put("item")
+
+    env.process(driver())
+    env.run()
+    assert got == [("survivor", "item")]
+    assert len(q) == 0  # delivered, not stranded on the ghost
+
+
+def test_anyof_losing_wait_leaves_condition_queue():
+    """The dispatcher's backoff pattern: any_of([timeout, cond.wait()])
+    where the timeout wins must remove the wait from the condition's
+    queue — a later notify() goes to a real waiter, not the ghost."""
+    env = Environment()
+    cond = Condition(env)
+    woken = []
+
+    def backoff():
+        t = env.timeout(1)
+        w = cond.wait()
+        yield env.any_of([t, w])
+        assert w.cancelled
+        assert cond.waiting == 0
+
+    def real():
+        yield env.timeout(2)
+        woken.append((yield cond.wait()))
+
+    def notifier():
+        yield env.timeout(3)
+        assert cond.notify("late") is True
+
+    env.process(backoff())
+    env.process(real())
+    env.process(notifier())
+    env.run()
+    assert woken == ["late"]

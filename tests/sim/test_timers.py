@@ -1,0 +1,155 @@
+"""The slot-based timer wheel: many timers, one pending kernel event."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError, TimerWheel
+
+
+def test_one_shot_fires_at_exact_time():
+    env = Environment()
+    wheel = TimerWheel(env)
+    fired = []
+    wheel.call_at(3.25, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [3.25]
+
+
+def test_call_after_relative_delay():
+    env = Environment()
+    wheel = TimerWheel(env)
+    fired = []
+
+    def proc():
+        yield env.timeout(2)
+        wheel.call_after(1.5, lambda: fired.append(env.now))
+
+    env.process(proc())
+    env.run()
+    assert fired == [3.5]
+
+
+def test_recurring_ticks_until_cancelled():
+    env = Environment()
+    wheel = TimerWheel(env)
+    ticks = []
+    handle = wheel.every(1.0, lambda: ticks.append(env.now))
+
+    def stopper():
+        yield env.timeout(3.5)
+        handle.cancel()
+
+    env.process(stopper())
+    env.run()
+    assert ticks == [1.0, 2.0, 3.0]
+    assert not handle.active
+
+
+def test_cancel_is_idempotent_and_o1():
+    env = Environment()
+    wheel = TimerWheel(env)
+    handle = wheel.call_at(5.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    env.run()
+    assert len(wheel) == 0
+
+
+def test_many_timers_one_pending_kernel_event():
+    """The wheel's whole point: N armed timers cost one heap entry (the
+    earliest), not N."""
+    env = Environment()
+    wheel = TimerWheel(env)
+    fired = []
+    for i in range(50):
+        wheel.call_at(10.0 + i, lambda i=i: fired.append(i))
+    live = [e for e in env._queue if not e[3]._cancelled]
+    assert len(live) == 1
+    env.run()
+    assert fired == list(range(50))
+
+
+def test_earlier_insert_rearms_the_wheel():
+    """Arming an earlier deadline cancels the previously armed kernel
+    Timeout (event cancellation dogfooded) and still fires both."""
+    env = Environment()
+    wheel = TimerWheel(env)
+    fired = []
+    wheel.call_at(10.0, lambda: fired.append("late"))
+    armed_before = wheel._armed
+    wheel.call_at(2.0, lambda: fired.append("early"))
+    assert armed_before.cancelled
+    env.run()
+    assert fired == ["early", "late"]
+    assert env.now == 10.0
+
+
+def test_same_instant_fires_in_insertion_order():
+    env = Environment()
+    wheel = TimerWheel(env)
+    fired = []
+    wheel.call_at(4.0, lambda: fired.append("a"))
+    wheel.call_at(4.0, lambda: fired.append("b"))
+    wheel.call_at(4.0, lambda: fired.append("c"))
+    env.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_recurring_first_delay_override():
+    env = Environment()
+    wheel = TimerWheel(env)
+    ticks = []
+    handle = wheel.every(2.0, lambda: ticks.append(env.now), first=0.5)
+
+    def stopper():
+        yield env.timeout(5)
+        handle.cancel()
+
+    env.process(stopper())
+    env.run()
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_cancel_from_inside_own_tick_stops_recurrence():
+    env = Environment()
+    wheel = TimerWheel(env)
+    ticks = []
+
+    def tick():
+        ticks.append(env.now)
+        if len(ticks) == 2:
+            handle.cancel()
+
+    handle = wheel.every(1.0, tick)
+    env.run()
+    assert ticks == [1.0, 2.0]
+
+
+def test_validation():
+    env = Environment()
+    wheel = TimerWheel(env)
+    with pytest.raises(SimulationError):
+        wheel.call_after(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        wheel.every(0, lambda: None)
+    with pytest.raises(SimulationError):
+        TimerWheel(env, slot_s=0)
+
+    def proc():
+        yield env.timeout(5)
+        with pytest.raises(SimulationError):
+            wheel.call_at(1.0, lambda: None)  # in the past
+
+    env.process(proc())
+    env.run()
+
+
+def test_sub_slot_timers_fire_exactly():
+    """Slot granularity is bookkeeping only — timers denser than the
+    slot width still fire at their exact requested times."""
+    env = Environment()
+    wheel = TimerWheel(env, slot_s=10.0)
+    fired = []
+    for when in (0.25, 0.5, 3.75, 9.99):
+        wheel.call_at(when, lambda w=when: fired.append((env.now, w)))
+    env.run()
+    assert fired == [(w, w) for w in (0.25, 0.5, 3.75, 9.99)]
