@@ -162,6 +162,10 @@ def cmd_run(args) -> int:
             locality_binding=args.locality,
             migration_penalty_s=args.migration_penalty_s,
             allocator_placement=args.allocator,
+            launch_control_plane_s=args.launch_control_plane_s,
+            batch_max_calls=args.batch_max_calls,
+            batch_max_delay_s=args.batch_max_delay_s,
+            graph_replay_enabled=args.graph_replay,
         )
     result = run_node_batch(jobs, args.gpus, config, label="cli",
                             collector=collector)
@@ -273,6 +277,19 @@ def main(argv=None) -> int:
     run.add_argument("--allocator", default="first_fit",
                      choices=PLACEMENT_MODES,
                      help="device-memory placement: first_fit or best_fit")
+    run.add_argument("--launch-control-plane-s", type=float, default=0.0,
+                     metavar="S",
+                     help="per-launch driver control-plane cost to model "
+                          "(0 = free launches, the historic behavior)")
+    run.add_argument("--batch-max-calls", type=int, default=1, metavar="N",
+                     help="frontend ships up to N journaled calls per RPC "
+                          "(1 = per-call dispatch)")
+    run.add_argument("--batch-max-delay-s", type=float, default=None,
+                     metavar="S",
+                     help="flush a partial batch after S simulated seconds")
+    run.add_argument("--graph-replay", action="store_true",
+                     help="detect repeated launch sequences and replay them "
+                          "as instantiated graphs")
     run.add_argument("--prefetch", action="store_true",
                      help="stage the predicted next-launch working set "
                           "during CPU phases (needs --overlap)")

@@ -110,7 +110,37 @@ class RuntimeConfig:
         through host memory.
     dispatcher_overhead_s:
         Per-call software cost of interception/dispatch inside the
-        runtime daemon.
+        runtime daemon.  A batched submission pays it once per *batch*
+        (one scheduler round-trip), not once per call.
+    launch_control_plane_s:
+        Per-launch control-plane cost charged by the simulated driver
+        (CPU-side submission work before the launch contends for an
+        engine).  ``0.0`` (default) models it away entirely — simulated
+        times stay bit-for-bit identical to previous releases; see
+        ``repro.simcuda.timing.CONTROL_PLANE_SECONDS`` for a reference
+        magnitude.  Graph replay re-issues an instantiated launch
+        sequence for a *single* charge.
+    batch_max_calls:
+        Control-plane batching: the frontend journals asynchronous calls
+        (configure/launch/h2d) and ships up to this many in one RPC
+        frame, which the dispatcher executes in one scheduler
+        round-trip.  ``1`` (default) disables batching — every call is
+        its own RPC, behavior-identical to previous releases.
+        Synchronizing calls (memcpy-back, sync, free, exit, …) act as
+        flush barriers: they ride as the last call of the pending batch.
+    batch_max_delay_s:
+        Optional client-side flush timer: a non-empty batch older than
+        this is shipped even if under ``batch_max_calls``.  ``None``
+        (default) flushes only on a full batch or a barrier call.
+    graph_replay_enabled:
+        CUDA-Graph-style replay: the dispatcher recognizes a repeated
+        launch-only batch signature (or an explicit frontend capture),
+        instantiates it once, and re-issues the whole graph for a single
+        control-plane charge with only parameter patching.  Off by
+        default.
+    graph_min_repeats:
+        How many times an identical launch-only batch signature must be
+        seen before the dispatcher instantiates a graph for it.
     tracing:
         Structured tracing (:mod:`repro.obs`): emit typed events (call
         spans, swaps, bindings, migrations, queue depths) on the node's
@@ -206,6 +236,11 @@ class RuntimeConfig:
     cuda4_semantics: bool = False
     kernel_consolidation: bool = False
     dispatcher_overhead_s: float = 30e-6
+    launch_control_plane_s: float = 0.0
+    batch_max_calls: int = 1
+    batch_max_delay_s: Optional[float] = None
+    graph_replay_enabled: bool = False
+    graph_min_repeats: int = 2
     tracing: bool = False
     qos_enabled: bool = False
     slo_window_s: float = 60.0
@@ -249,6 +284,14 @@ class RuntimeConfig:
             raise ValueError("max_failed_rebind_attempts must be >= 0")
         if self.vgpu_quantum_s is not None and self.vgpu_quantum_s <= 0:
             raise ValueError("vgpu_quantum_s must be positive (or None)")
+        if self.launch_control_plane_s < 0:
+            raise ValueError("launch_control_plane_s must be >= 0")
+        if self.batch_max_calls < 1:
+            raise ValueError("batch_max_calls must be >= 1")
+        if self.batch_max_delay_s is not None and self.batch_max_delay_s <= 0:
+            raise ValueError("batch_max_delay_s must be positive (or None)")
+        if self.graph_min_repeats < 1:
+            raise ValueError("graph_min_repeats must be >= 1")
         if self.admission_mode not in ("queue", "reject"):
             raise ValueError(f"unknown admission_mode {self.admission_mode!r}")
         if self.listener_backlog is not None and self.listener_backlog < 1:

@@ -99,6 +99,17 @@ class Context:
         self.locality_skips = 0
         #: Pending kernel configuration (cudaConfigureCall).
         self.pending_config: Optional[Any] = None
+        #: Graph capture/replay (control-plane batching).  ``capture`` is
+        #: the list of launches being recorded between begin/end capture
+        #: (None when not capturing); ``graphs`` maps graph handle →
+        #: GraphInstance; ``graph_candidates`` counts repeats of a batch
+        #: signature until auto-instantiation, ``graph_by_signature``
+        #: holds the instantiated graphs keyed by that signature.
+        self.capture: Optional[List[KernelLaunch]] = None
+        self.capture_config: Optional[Any] = None
+        self.graphs: dict = {}
+        self.graph_candidates: dict = {}
+        self.graph_by_signature: dict = {}
         #: Live phase recorder of the call currently being served
         #: (repro.obs.span.CallSpan); None between calls and whenever
         #: tracing is off.  Only the process serving the call may touch

@@ -29,6 +29,9 @@ class RuntimeErrorCode(enum.Enum):
     # allocation paths instead of letting one tenant degrade the node.
     ADMISSION_REJECTED = "Connection rejected by admission control"
     TENANT_QUOTA_EXCEEDED = "Tenant resource quota exceeded"
+    # Control-plane batching / graph replay.
+    BATCH_ABORTED = "Call aborted: an earlier call in its batch failed"
+    GRAPH_INVALID = "Graph handle unknown or capture sequence invalid"
 
 
 class RuntimeApiError(Exception):

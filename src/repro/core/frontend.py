@@ -12,13 +12,14 @@ paper's runtime — exactly the property the real intercept library has.
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence, Tuple
+from typing import Generator, List, Optional, Sequence, Tuple
 
 from repro.net.channel import LinkSpec, AFUNIX_LINK
-from repro.net.rpc import RpcClient
+from repro.net.rpc import Request, RpcClient
 from repro.net.socket import Listener, connect
+from repro.sim import Lock
 
-from repro.core.protocol import CallType
+from repro.core.protocol import BATCHABLE_CALLS, CallType
 from repro.simcuda.fatbin import FatBinary
 from repro.simcuda.kernels import KernelDescriptor
 
@@ -26,7 +27,19 @@ __all__ = ["Frontend"]
 
 
 class Frontend:
-    """Client endpoint for one application thread."""
+    """Client endpoint for one application thread.
+
+    With ``batch_max_calls >= 2`` the frontend journals asynchronous
+    calls (:data:`~repro.core.protocol.BATCHABLE_CALLS`) instead of
+    issuing them, and ships up to N in one batch frame — the control
+    plane then pays the link's per-message cost and the dispatcher's
+    scheduler round-trip once per *batch*.  Any synchronizing call (it
+    needs a value, or the application could observe its effect) is a
+    flush barrier: it rides as the last call of the pending batch and
+    returns its own result.  Errors of journaled calls are deferred to
+    the next flush, matching the asynchronous-launch error semantics of
+    the real CUDA runtime.
+    """
 
     def __init__(
         self,
@@ -39,6 +52,8 @@ class Frontend:
         deadline_s: Optional[float] = None,
         tenant: Optional[str] = None,
         estimated_bytes: Optional[int] = None,
+        batch_max_calls: int = 1,
+        batch_max_delay_s: Optional[float] = None,
     ):
         self.env = env
         self._listener = listener
@@ -56,6 +71,21 @@ class Frontend:
         #: Admission hint: expected peak allocation footprint in bytes.
         self.estimated_bytes = estimated_bytes
         self._rpc: Optional[RpcClient] = None
+        #: Batching knobs (``RuntimeConfig.batch_max_calls`` /
+        #: ``batch_max_delay_s``); 1 = every call is its own RPC, the
+        #: historic behavior down to identical simulated times.
+        self.batch_max_calls = batch_max_calls
+        self.batch_max_delay_s = batch_max_delay_s
+        self._batch: List[Request] = []
+        #: Bumped on every flush; lets a pending delay-timer recognize
+        #: that "its" batch is already gone.
+        self._batch_generation = 0
+        #: Serializes flushes against barrier calls — only one RPC may be
+        #: in flight on the connection.  Touched only when batching.
+        self._flush_lock = Lock(env)
+        #: Error raised by a timer-driven flush, surfaced to the
+        #: application at its next call (deferred error reporting).
+        self._deferred_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     def open(self) -> Generator:
@@ -84,11 +114,87 @@ class Frontend:
         application thread."""
         return self._rpc.trace_id if self._rpc is not None else None
 
+    @property
+    def _batching(self) -> bool:
+        return self.batch_max_calls >= 2
+
     def _call(self, method: CallType, payload_bytes: int = 0, **args) -> Generator:
         if self._rpc is None:
             raise RuntimeError("frontend not connected; call open() first")
+        if self._batching:
+            if method in BATCHABLE_CALLS:
+                self._enqueue(method, payload_bytes, args)
+                if len(self._batch) >= self.batch_max_calls:
+                    yield from self._flush_batch()
+                return None
+            if self._batch or self._deferred_error is not None:
+                # Flush barrier: ship the pending batch with this call as
+                # its tail and return this call's own result.
+                self._enqueue(method, payload_bytes, args)
+                responses = yield from self._flush_batch()
+                return responses[-1].unwrap()
         result = yield from self._rpc.call(method, payload_bytes=payload_bytes, **args)
         return result
+
+    def _enqueue(self, method: CallType, payload_bytes: int, args: dict) -> None:
+        """Journal a call into the pending batch (no wire traffic yet).
+
+        ``sent_at`` records the *enqueue* time — the server credits the
+        span's client-side wait to the ``batch_queue`` phase from here.
+        """
+        req = Request(method=method, args=args, payload_bytes=payload_bytes)
+        req.trace_id = self._rpc.trace_id
+        req.span_id = req.request_id
+        req.sent_at = self.env.now
+        self._batch.append(req)
+        if len(self._batch) == 1 and self.batch_max_delay_s is not None:
+            self.env.process(
+                self._delayed_flush(self._batch_generation),
+                name=f"batch-timer-{self.name}",
+            )
+
+    def _flush_batch(self) -> Generator:
+        """Ship the pending batch; returns the per-call responses.
+
+        Raises the first error any batched call produced (deferred-error
+        semantics) — calls after the failing one carry ``BATCH_ABORTED``
+        and the application sees the root cause.
+        """
+        yield self._flush_lock.acquire()
+        try:
+            if self._deferred_error is not None:
+                error, self._deferred_error = self._deferred_error, None
+                raise error
+            if not self._batch:
+                return []
+            batch, self._batch = self._batch, []
+            self._batch_generation += 1
+            responses = yield from self._rpc.call_batch(batch)
+            for resp in responses:
+                if resp.error is not None:
+                    raise resp.error
+            return responses
+        finally:
+            self._flush_lock.release()
+
+    def _delayed_flush(self, generation: int) -> Generator:
+        """``batch_max_delay_s`` timer: flush a batch that went stale."""
+        yield self.env.timeout(self.batch_max_delay_s)
+        if (
+            generation != self._batch_generation
+            or not self._batch
+            or self._rpc is None
+        ):
+            return
+        try:
+            yield from self._flush_batch()
+        except Exception as exc:  # noqa: BLE001 - deferred to the app's next call
+            self._deferred_error = exc
+
+    def flush(self) -> Generator:
+        """Explicitly ship any journaled calls (and surface their errors)."""
+        if self._batching and (self._batch or self._deferred_error is not None):
+            yield from self._flush_batch()
 
     # ------------------------------------------------------------------
     # registration (host startup code)
@@ -195,6 +301,26 @@ class Frontend:
         """Convenience: configure + launch in one go."""
         yield from self.cuda_configure_call(grid, block)
         yield from self.cuda_launch(kernel, args, read_only)
+
+    # ------------------------------------------------------------------
+    # graph capture/replay (runtime extension)
+    # ------------------------------------------------------------------
+    def graph_begin_capture(self) -> Generator:
+        """Start recording configure/launch calls instead of executing
+        them (CUDA stream-capture semantics: nothing runs while
+        capturing)."""
+        yield from self._call(CallType.GRAPH_BEGIN_CAPTURE)
+
+    def graph_end_capture(self) -> Generator:
+        """Stop recording; instantiates the captured sequence server-side
+        and returns the graph handle."""
+        handle = yield from self._call(CallType.GRAPH_END_CAPTURE)
+        return handle
+
+    def graph_launch(self, graph: int) -> Generator:
+        """Re-issue an instantiated graph: every captured kernel runs,
+        for a single control-plane charge."""
+        yield from self._call(CallType.GRAPH_LAUNCH, graph=graph)
 
     def cuda_thread_synchronize(self) -> Generator:
         yield from self._call(CallType.THREAD_SYNCHRONIZE)

@@ -362,8 +362,13 @@ class MemoryManager:
         grid: Tuple[int, int, int] = (1, 1, 1),
         block: Tuple[int, int, int] = (256, 1, 1),
         replaying: bool = False,
+        control_plane: bool = True,
     ) -> Generator:
         """Execute one kernel on the context's bound vGPU.
+
+        ``control_plane=False`` marks a launch issued as part of an
+        instantiated graph replay: the driver's per-launch control-plane
+        charge was already paid (once, for the whole graph).
 
         Returns the kernel's execution-engine seconds (used for automatic
         checkpointing and credit accounting).
@@ -447,6 +452,7 @@ class MemoryManager:
             block=block,
             arg_pointers=device_ptrs,
             read_only=dev_read_only if dev_read_only else None,
+            control_plane=control_plane,
         )
         t0 = self.env.now
         with _span_phase(ctx, "exec"):

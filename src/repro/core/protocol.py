@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["CallType", "DEVICE_MANAGEMENT_CALLS", "REGISTRATION_CALLS", "MEMORY_CALLS"]
+__all__ = [
+    "CallType",
+    "DEVICE_MANAGEMENT_CALLS",
+    "REGISTRATION_CALLS",
+    "MEMORY_CALLS",
+    "BATCHABLE_CALLS",
+]
 
 
 class CallType(str, enum.Enum):
@@ -46,6 +52,13 @@ class CallType(str, enum.Enum):
     CHECKPOINT = "reproCheckpoint"
     EXIT = "cudaThreadExit"
 
+    # CUDA-Graph-style capture/replay (runtime extension): record a
+    # launch sequence once, instantiate it, then re-issue the whole graph
+    # for a single control-plane charge.
+    GRAPH_BEGIN_CAPTURE = "reproGraphBeginCapture"
+    GRAPH_END_CAPTURE = "reproGraphEndCapture"
+    GRAPH_LAUNCH = "reproGraphLaunch"
+
 
 #: Calls the dispatcher services (and typically overrides) before any
 #: application-to-GPU binding exists.
@@ -64,4 +77,12 @@ REGISTRATION_CALLS = frozenset(
 
 MEMORY_CALLS = frozenset(
     {CallType.MALLOC, CallType.FREE, CallType.MEMCPY_H2D, CallType.MEMCPY_D2H}
+)
+
+#: Calls the frontend may journal into a batch frame instead of issuing
+#: immediately: asynchronous on real CUDA (no value to return, no
+#: host-visible side effect the application could observe before its next
+#: synchronizing call).  Everything else is a flush barrier.
+BATCHABLE_CALLS = frozenset(
+    {CallType.CONFIGURE_CALL, CallType.LAUNCH, CallType.MEMCPY_H2D}
 )

@@ -165,6 +165,7 @@ class NodeRuntime:
             return
         self._started = True
         self.driver.concurrent_kernels = self.config.kernel_consolidation
+        self.driver.launch_control_plane_s = self.config.launch_control_plane_s
         for device in self.driver.devices:
             device.allocator.mode = self.config.allocator_placement
         yield from self.scheduler.start()

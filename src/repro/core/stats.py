@@ -82,6 +82,18 @@ class RuntimeStats:
     locality_bytes_avoided: int = 0
     locality_reclaims: int = 0
     locality_reclaim_bytes: int = 0
+    #: Control-plane batching: batch frames executed and the calls they
+    #: carried (ratio = average batch size actually achieved).
+    batches_submitted: int = 0
+    batched_calls: int = 0
+    #: CUDA-Graph-style replay: graphs instantiated (explicit capture or
+    #: journal auto-detection), whole-graph replays, kernels those
+    #: replays issued, and replays that found their cached translations
+    #: stale (a journaled buffer moved between replays).
+    graphs_instantiated: int = 0
+    graph_replays: int = 0
+    graph_replayed_kernels: int = 0
+    graphs_invalidated: int = 0
 
     @property
     def swaps_total(self) -> int:

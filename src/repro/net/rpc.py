@@ -9,11 +9,18 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.net.socket import Socket
 
-__all__ = ["Request", "Response", "RpcClient", "RpcServer"]
+__all__ = [
+    "Request",
+    "Response",
+    "BatchRequest",
+    "BatchResponse",
+    "RpcClient",
+    "RpcServer",
+]
 
 _request_ids = itertools.count(1)
 _trace_ids = itertools.count(1)
@@ -66,6 +73,47 @@ class Response:
         return self.value
 
 
+@dataclasses.dataclass(slots=True)
+class BatchRequest:
+    """N journaled calls shipped as one wire message.
+
+    Control-plane batching: the frontend accumulates asynchronous calls
+    and sends them as a single frame, paying the link's per-message
+    overhead and the round-trip latency once instead of N times.  Each
+    inner :class:`Request` keeps its own ids and its *enqueue* timestamp
+    in ``sent_at`` (so the server can attribute client-side batch-queue
+    time per call); ``sent_at`` on the frame itself is when the batch
+    actually hit the wire.
+    """
+
+    calls: List[Request]
+    request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
+    trace_id: Optional[int] = None
+    sent_at: Optional[float] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        # One frame header plus every call's marshalled form (the inner
+        # headers still ship — only the per-message cost is amortized).
+        return HEADER_BYTES + sum(r.wire_bytes for r in self.calls)
+
+
+@dataclasses.dataclass(slots=True)
+class BatchResponse:
+    """Per-call results of a :class:`BatchRequest`, in submission order.
+
+    Every inner call gets a :class:`Response` — value, or its own typed
+    error (calls after a mid-batch failure carry ``BATCH_ABORTED``).
+    """
+
+    request_id: int
+    responses: List[Response]
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + sum(r.wire_bytes for r in self.responses)
+
+
 class RpcClient:
     """Synchronous call interface over a socket (one call in flight)."""
 
@@ -90,6 +138,26 @@ class RpcClient:
                 f"out-of-order response: expected #{req.request_id}, got {resp!r}"
             )
         return resp.unwrap()
+
+    def call_batch(self, calls: List[Request]) -> Generator:
+        """Ship ``calls`` as one :class:`BatchRequest`; returns the list
+        of per-call :class:`Response` objects (errors NOT re-raised —
+        the caller owns deferred-error semantics)."""
+        batch = BatchRequest(calls=list(calls))
+        batch.trace_id = self.trace_id
+        batch.sent_at = self.socket.env.now
+        yield from self.socket.send(batch, nbytes=batch.wire_bytes)
+        resp = yield self.socket.recv()
+        if not isinstance(resp, BatchResponse) or resp.request_id != batch.request_id:
+            raise ProtocolError(
+                f"out-of-order batch response: expected #{batch.request_id}, got {resp!r}"
+            )
+        if len(resp.responses) != len(batch.calls):
+            raise ProtocolError(
+                f"batch #{batch.request_id}: {len(batch.calls)} calls, "
+                f"{len(resp.responses)} responses"
+            )
+        return resp.responses
 
 
 class ProtocolError(Exception):

@@ -13,6 +13,7 @@ Three layers (see ``docs/observability.md``):
 """
 
 from repro.obs.events import (
+    BatchSubmit,
     Bind,
     BindingDecision,
     CallBegin,
@@ -22,6 +23,8 @@ from repro.obs.events import (
     EVENT_TYPES,
     Eviction,
     FailureRecovered,
+    GraphInstantiate,
+    GraphReplay,
     Migration,
     Offload,
     PhaseBreakdown,
@@ -63,6 +66,7 @@ from repro.obs.collector import ObsCollector
 
 __all__ = [
     # events
+    "BatchSubmit",
     "Bind",
     "BindingDecision",
     "CallBegin",
@@ -72,6 +76,8 @@ __all__ = [
     "EVENT_TYPES",
     "Eviction",
     "FailureRecovered",
+    "GraphInstantiate",
+    "GraphReplay",
     "Migration",
     "Offload",
     "PhaseBreakdown",

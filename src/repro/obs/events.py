@@ -37,6 +37,9 @@ __all__ = [
     "BindingDecision",
     "QueueDepthChanged",
     "PhaseBreakdown",
+    "BatchSubmit",
+    "GraphInstantiate",
+    "GraphReplay",
     "EVENT_TYPES",
     "Tracer",
     "event_to_dict",
@@ -305,6 +308,52 @@ class PhaseBreakdown:
     node: str = ""
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class BatchSubmit:
+    """A batch frame arrived at the dispatcher: ``calls`` journaled calls
+    executing in one scheduler round-trip (control-plane batching)."""
+
+    kind: ClassVar[str] = "BatchSubmit"
+    at: float
+    context: str
+    calls: int
+    wire_bytes: int = 0
+    node: str = ""
+    tenant: str = ""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GraphInstantiate:
+    """A launch sequence was instantiated as a replayable graph —
+    explicitly (stream capture) or by journal repeat detection."""
+
+    kind: ClassVar[str] = "GraphInstantiate"
+    at: float
+    context: str
+    graph_id: int
+    kernels: int
+    explicit: bool = False
+    node: str = ""
+    tenant: str = ""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GraphReplay:
+    """An instantiated graph was re-issued whole.  ``invalidated`` marks
+    replays whose cached translations had gone stale (a journaled buffer
+    was evicted between replays), forcing the full per-launch path."""
+
+    kind: ClassVar[str] = "GraphReplay"
+    at: float
+    context: str
+    graph_id: int
+    kernels: int
+    invalidated: bool = False
+    device_id: Optional[int] = None
+    node: str = ""
+    tenant: str = ""
+
+
 EVENT_TYPES: Tuple[type, ...] = (
     CallBegin,
     CallEnd,
@@ -323,6 +372,9 @@ EVENT_TYPES: Tuple[type, ...] = (
     BindingDecision,
     QueueDepthChanged,
     PhaseBreakdown,
+    BatchSubmit,
+    GraphInstantiate,
+    GraphReplay,
 )
 
 
@@ -642,6 +694,56 @@ class Tracer:
                 scores=tuple((v.name, cost) for v, cost in scored),
                 resident_bytes=resident_bytes,
                 node=self.node,
+            )
+        )
+
+    def batch_submit(self, ctx, calls: int, wire_bytes: int = 0) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            BatchSubmit(
+                at=self.env.now,
+                context=ctx.owner,
+                calls=calls,
+                wire_bytes=wire_bytes,
+                node=self.node,
+                tenant=_ctx_tenant(ctx),
+            )
+        )
+
+    def graph_instantiate(
+        self, ctx, graph_id: int, kernels: int, explicit: bool = False
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            GraphInstantiate(
+                at=self.env.now,
+                context=ctx.owner,
+                graph_id=graph_id,
+                kernels=kernels,
+                explicit=explicit,
+                node=self.node,
+                tenant=_ctx_tenant(ctx),
+            )
+        )
+
+    def graph_replay(
+        self, ctx, graph_id: int, kernels: int, invalidated: bool = False
+    ) -> None:
+        if not self.enabled:
+            return
+        device_id, _vgpu = _ctx_location(ctx)
+        self.emit(
+            GraphReplay(
+                at=self.env.now,
+                context=ctx.owner,
+                graph_id=graph_id,
+                kernels=kernels,
+                invalidated=invalidated,
+                device_id=device_id,
+                node=self.node,
+                tenant=_ctx_tenant(ctx),
             )
         )
 

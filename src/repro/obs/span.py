@@ -36,12 +36,14 @@ __all__ = ["CallSpan", "PHASES"]
 #: explicitly by the owning process.
 PHASES = (
     "rpc",
+    "batch_queue",
     "queue_wait",
     "bind_wait",
     "fault_in",
     "eviction_stall",
     "writeback_drain",
     "exec",
+    "graph_replay",
     "preempted",
     "other",
 )
@@ -66,6 +68,13 @@ class CallSpan:
         When the call causally began — the RPC ``sent_at`` timestamp.
         If it predates span creation, the gap is credited to ``rpc``
         (the request's wire leg).  Defaults to ``env.now``.
+    wire_at:
+        For batched calls only: when the call actually hit the wire.
+        The pre-history then splits at this point — ``begin_at`` to
+        ``wire_at`` was spent journaled in the frontend's batch
+        (``batch_queue``), ``wire_at`` to now on the wire (``rpc``).
+        The frame's request wire leg is the *first* call's; later calls
+        pass ``wire_at == arrival`` so their whole wait is queue time.
     """
 
     __slots__ = ("env", "trace_id", "span_id", "begin_at", "phases", "_stack", "_since")
@@ -76,6 +85,7 @@ class CallSpan:
         trace_id: Optional[int] = None,
         span_id: Optional[int] = None,
         begin_at: Optional[float] = None,
+        wire_at: Optional[float] = None,
     ):
         self.env = env
         self.trace_id = trace_id if trace_id is not None else next(_span_ids)
@@ -85,8 +95,16 @@ class CallSpan:
         self._stack: List[str] = []
         self._since = env.now
         if self.begin_at < self._since:
-            # Time on the wire before the server saw the request.
-            self.phases["rpc"] = self._since - self.begin_at
+            # Time before the server saw the request: all wire on the
+            # plain path; journaled-then-wire when the call was batched.
+            if wire_at is None:
+                self.phases["rpc"] = self._since - self.begin_at
+            else:
+                split = min(max(float(wire_at), self.begin_at), self._since)
+                if split > self.begin_at:
+                    self.phases["batch_queue"] = split - self.begin_at
+                if self._since > split:
+                    self.phases["rpc"] = self._since - split
 
     # ------------------------------------------------------------------
     def _settle(self) -> None:

@@ -92,6 +92,11 @@ class Tenant:
         #: and the per-tenant gauges want total data moved).
         self.swap_bytes_out_total = 0
         self.swap_bytes_in_total = 0
+        #: Memo for :meth:`device_bytes`: (page-table epoch, context
+        #: count) → resident bytes.  The page table bumps its epoch on
+        #: every PTE state transition, so an unchanged key proves nothing
+        #: anywhere in the table moved since the last walk.
+        self._device_bytes_memo: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def attach(self, ctx: Any) -> None:
@@ -104,8 +109,28 @@ class Tenant:
 
     # ------------------------------------------------------------------
     def device_bytes(self, page_table: Any) -> int:
-        """Resident device memory across the tenant's live contexts."""
-        return sum(page_table.allocated_bytes(c) for c in self.contexts)
+        """Resident device memory across the tenant's live contexts.
+
+        Derived (never incrementally maintained — a derived view cannot
+        drift) but *memoized* on the page table's epoch: per-tenant
+        gauges are sampled by every monitor tick and every export, and
+        an O(PTEs) walk per sample dwarfed the hot paths it observed.
+        The walk now runs only when the table actually changed.
+        """
+        if not self.contexts:
+            return 0
+        key = (page_table.epoch, len(self.contexts))
+        memo = self._device_bytes_memo
+        profiler = getattr(self.contexts[0].env, "profiler", None)
+        if profiler is not None:
+            profiler.count("tenant_device_bytes_calls")
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        if profiler is not None:
+            profiler.count("tenant_device_bytes_recomputes")
+        total = sum(page_table.allocated_bytes(c) for c in self.contexts)
+        self._device_bytes_memo = (key, total)
+        return total
 
     def swap_bytes(self, page_table: Any) -> int:
         """Swap-backed allocation bytes across the tenant's live contexts."""

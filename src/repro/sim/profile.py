@@ -41,6 +41,10 @@ class SimProfiler:
         self.queue_depth_sum = 0
         self.queue_depth_peak = 0
         self.hotspots: Dict[str, int] = {}
+        #: Free-form named counters bumped by instrumented model code via
+        #: :meth:`count` (e.g. gauge recompute vs. memo-hit tallies).
+        #: Purely observational — never consulted by the model.
+        self.counters: Dict[str, int] = {}
         self._env: Optional[Any] = None
         self._wall_start: Optional[float] = None
         self._wall_elapsed = 0.0
@@ -102,6 +106,13 @@ class SimProfiler:
         except KeyError:
             hot[key] = 1
 
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter (cheap; for model-side instrumentation)."""
+        try:
+            self.counters[name] += n
+        except KeyError:
+            self.counters[name] = n
+
     # ------------------------------------------------------------------
     def _elapsed(self) -> Tuple[float, float]:
         wall = self._wall_elapsed
@@ -128,6 +139,7 @@ class SimProfiler:
             "queue_depth_mean": self.queue_depth_sum / events if events else 0.0,
             "queue_depth_peak": self.queue_depth_peak,
             "hotspots": [{"handler": k, "events": v} for k, v in hot],
+            "counters": dict(sorted(self.counters.items())),
         }
 
     def __repr__(self) -> str:

@@ -39,6 +39,13 @@ class CudaDriver:
         #: serializing — the Ravi et al. integration enabled by the
         #: runtime's delayed binding (§6).  Off = CUDA 3.x behaviour.
         self.concurrent_kernels = False
+        #: Per-launch control-plane cost (CPU-side submission work charged
+        #: before the launch contends for an engine).  Defaults to 0.0 —
+        #: no timeout event is even scheduled then, so prior results stay
+        #: bit-for-bit identical.  Wired from
+        #: ``RuntimeConfig.launch_control_plane_s`` by the node runtime;
+        #: see ``timing.CONTROL_PLANE_SECONDS`` for a reference value.
+        self.launch_control_plane_s = 0.0
         #: Optional observability hook called at the end of every engine
         #: occupancy — ``hook(device, engine, op, nbytes, owner, begin_at)``.
         #: Wired by the node runtime to emit EngineSpan trace events; the
@@ -284,6 +291,9 @@ class CudaDriver:
                     CudaError.cudaErrorLaunchFailure,
                     f"kernel {launch.kernel.name!r} dereferences invalid pointer 0x{ptr:x}",
                 )
+        if self.launch_control_plane_s > 0.0 and launch.control_plane:
+            yield self.env.timeout(self.launch_control_plane_s)
+            self._check_context(ctx)
         device = ctx.device
         if self.concurrent_kernels:
             yield from self._launch_space_shared(ctx, launch)

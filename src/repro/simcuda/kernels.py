@@ -77,6 +77,11 @@ class KernelLaunch:
         (Figure 4 "assumes ... all data referenced in a kernel launch can
         be modified"; finer handling "is possible if the information about
         read-only and read-write parameters is available").
+    control_plane:
+        Whether this launch pays the driver's per-launch control-plane
+        charge (``CudaDriver.launch_control_plane_s``).  Graph replay
+        issues an instantiated sequence for a *single* charge, so every
+        launch after the first is submitted with ``control_plane=False``.
     """
 
     kernel: KernelDescriptor
@@ -84,6 +89,7 @@ class KernelLaunch:
     block: Tuple[int, int, int] = (256, 1, 1)
     arg_pointers: Tuple[int, ...] = ()
     read_only: Optional[Tuple[int, ...]] = None
+    control_plane: bool = True
 
     @property
     def thread_count(self) -> int:

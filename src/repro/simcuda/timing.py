@@ -24,6 +24,7 @@ __all__ = [
     "MALLOC_OVERHEAD_SECONDS",
     "FREE_OVERHEAD_SECONDS",
     "LAUNCH_OVERHEAD_SECONDS",
+    "CONTROL_PLANE_SECONDS",
     "COPY_LATENCY_SECONDS",
     "REGISTRATION_SECONDS",
 ]
@@ -36,6 +37,14 @@ MALLOC_OVERHEAD_SECONDS = 1.0e-4
 FREE_OVERHEAD_SECONDS = 5.0e-5
 #: Kernel-launch software overhead.
 LAUNCH_OVERHEAD_SECONDS = 1.5e-5
+#: Reference per-launch *control-plane* cost: the CPU-side submission work
+#: (runtime bookkeeping + driver ioctl) a launch pays before it ever
+#: reaches the device, on top of ``LAUNCH_OVERHEAD_SECONDS``.  The model
+#: defaults this to **zero** (``CudaDriver.launch_control_plane_s``) so
+#: existing results are bit-for-bit unchanged; experiments studying the
+#: control-plane wall of fine-grained workloads opt in via
+#: ``RuntimeConfig.launch_control_plane_s``, typically with this value.
+CONTROL_PLANE_SECONDS = 2.5e-5
 #: Fixed latency component of any memcpy (driver + DMA setup).
 COPY_LATENCY_SECONDS = 1.0e-5
 #: Registering the fat binary / functions at startup.

@@ -15,10 +15,17 @@ from repro.workloads.cudasdk import (
     SCAN,
     VECTOR_ADDITION,
 )
+from repro.workloads.finegrained import FINE_GRAINED
 from repro.workloads.matmul import MATMUL_LARGE, MATMUL_SMALL
 from repro.workloads.rodinia import BACK_PROPAGATION, BFS, HOTSPOT, NEEDLEMAN_WUNSCH
 
-__all__ = ["ALL_WORKLOADS", "SHORT_RUNNING", "LONG_RUNNING", "workload"]
+__all__ = [
+    "ALL_WORKLOADS",
+    "SHORT_RUNNING",
+    "LONG_RUNNING",
+    "FINE_GRAINED",
+    "workload",
+]
 
 #: Short-running applications (3–5 s on a Tesla C2050).
 SHORT_RUNNING: List[WorkloadSpec] = [
@@ -41,7 +48,9 @@ LONG_RUNNING: List[WorkloadSpec] = [
     BLACK_SCHOLES_LARGE,
 ]
 
-ALL_WORKLOADS: List[WorkloadSpec] = SHORT_RUNNING + LONG_RUNNING
+#: Many-small-kernel family (control-plane stress; not in the random
+#: draw pools — the paper's figures draw Table 2 programs only).
+ALL_WORKLOADS: List[WorkloadSpec] = SHORT_RUNNING + LONG_RUNNING + FINE_GRAINED
 
 _BY_TAG: Dict[str, WorkloadSpec] = {w.tag: w for w in ALL_WORKLOADS}
 

@@ -48,6 +48,7 @@ def make_job(
         if use_runtime:
             if node.runtime is None:
                 raise RuntimeError(f"{node.name} has no runtime daemon")
+            cfg = node.runtime.config
             api = FrontendAdapter(
                 Frontend(
                     node.env,
@@ -55,6 +56,11 @@ def make_job(
                     name=job_name,
                     estimated_gpu_seconds=spec.gpu_seconds_c2050,
                     deadline_s=deadline_s,
+                    # The intercept library reads the node's control-plane
+                    # batching knobs; batch_max_calls=1 is the historic
+                    # per-call RPC path, bit for bit.
+                    batch_max_calls=cfg.batch_max_calls,
+                    batch_max_delay_s=cfg.batch_max_delay_s,
                 )
             )
         else:

@@ -31,12 +31,13 @@ class Harness:
     def stats(self):
         return self.runtime.stats
 
-    def frontend(self, name="app", estimated_gpu_seconds=None):
+    def frontend(self, name="app", estimated_gpu_seconds=None, **kwargs):
         return Frontend(
             self.env,
             self.runtime.listener,
             name=name,
             estimated_gpu_seconds=estimated_gpu_seconds,
+            **kwargs,
         )
 
     def spawn(self, gen, name=None):

@@ -56,6 +56,12 @@ EXPECTED_STATS_KEYS = {
     "locality_bytes_avoided",
     "locality_reclaims",
     "locality_reclaim_bytes",
+    "batches_submitted",
+    "batched_calls",
+    "graphs_instantiated",
+    "graph_replays",
+    "graph_replayed_kernels",
+    "graphs_invalidated",
 }
 
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.simcuda.device import TESLA_C2050
 from repro.workloads import ALL_WORKLOADS, LONG_RUNNING, SHORT_RUNNING, workload
+from repro.workloads.catalog import FINE_GRAINED
 
 GIB = 1024**3
 
@@ -26,9 +27,20 @@ PAPER_KERNEL_CALLS = {
 
 
 def test_thirteen_benchmarks():
-    assert len(ALL_WORKLOADS) == 13
+    # Table 2's thirteen, plus the fine-grained control-plane family
+    # (which stays out of the paper's short/long draw pools).
+    assert len(ALL_WORKLOADS) == 13 + len(FINE_GRAINED)
     assert len(SHORT_RUNNING) == 10
     assert len(LONG_RUNNING) == 3
+    assert not set(FINE_GRAINED) & set(SHORT_RUNNING + LONG_RUNNING)
+
+
+@pytest.mark.parametrize("spec", FINE_GRAINED, ids=lambda s: s.tag)
+def test_fine_grained_kernels_are_tens_of_microseconds(spec):
+    per_launch = spec.gpu_seconds_c2050 / spec.kernel_calls
+    assert 1e-5 <= per_launch <= 1e-4
+    assert spec.kernel_calls >= 1000
+    assert 8 * spec.total_bytes < TESLA_C2050.memory_bytes
 
 
 @pytest.mark.parametrize("tag,calls", sorted(PAPER_KERNEL_CALLS.items()))
