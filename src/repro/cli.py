@@ -26,7 +26,16 @@ from repro.simcuda.allocator import PLACEMENT_MODES
 from repro.experiments.harness import run_node_batch
 from repro.obs import ObsCollector
 from repro.experiments.report import format_table
-from repro.simcuda.device import GPUSpec, INTEL_MIC, QUADRO_2000, TESLA_C1060, TESLA_C2050
+from repro.simcuda.device import (
+    GPUSpec,
+    INTEL_MIC,
+    QUADRO_2000,
+    TESLA_C1060,
+    TESLA_C2050,
+    TESLA_P100,
+    TESLA_T4,
+    TESLA_V100,
+)
 from repro.workloads import ALL_WORKLOADS, make_job, workload
 
 __all__ = ["main"]
@@ -36,6 +45,9 @@ GPU_PRESETS: Dict[str, GPUSpec] = {
     "c1060": TESLA_C1060,
     "quadro2000": QUADRO_2000,
     "mic": INTEL_MIC,
+    "t4": TESLA_T4,
+    "p100": TESLA_P100,
+    "v100": TESLA_V100,
 }
 
 
@@ -126,7 +138,106 @@ def cmd_catalog(_args) -> int:
     return 0
 
 
+def _run_config(args, tracing: bool) -> RuntimeConfig:
+    """The RuntimeConfig both ``run`` modes build from the shared flags."""
+    return RuntimeConfig(
+        vgpus_per_device=args.vgpus,
+        policy=args.policy,
+        migration_enabled=args.migration,
+        kernel_consolidation=args.consolidation,
+        defer_transfers=not args.eager_transfers,
+        overlap_transfers=args.overlap,
+        prefetch_enabled=args.prefetch,
+        swap_chunk_bytes=args.swap_chunk_mib * 1024**2,
+        eviction_mode=args.eviction_mode,
+        eviction_policy=args.eviction_policy,
+        tracing=tracing,
+        qos_enabled=args.qos,
+        vgpu_quantum_s=args.vgpu_quantum_s,
+        locality_binding=args.locality,
+        migration_penalty_s=args.migration_penalty_s,
+        allocator_placement=args.allocator,
+        launch_control_plane_s=args.launch_control_plane_s,
+        batch_max_calls=args.batch_max_calls,
+        batch_max_delay_s=args.batch_max_delay_s,
+        graph_replay_enabled=args.graph_replay,
+    )
+
+
+def cmd_run_trace(args) -> int:
+    import dataclasses as _dc
+    import json as _json
+
+    from repro.workloads.trace_replay import (
+        load_trace,
+        replay_trace,
+        synthetic_trace,
+    )
+
+    if args.bare:
+        print("trace replay drives the runtime; --bare is not supported",
+              file=sys.stderr)
+        return 2
+    if bool(args.trace) == bool(args.synthetic):
+        print("trace mode needs exactly one of --trace FILE or --synthetic N",
+              file=sys.stderr)
+        return 2
+    if args.trace:
+        trace = load_trace(args.trace)
+        source = args.trace
+    else:
+        trace = synthetic_trace(
+            args.synthetic, seed=args.seed,
+            arrival_rate_per_s=args.arrival_rate,
+        )
+        source = f"synthetic({args.synthetic}, seed={args.seed})"
+    collector = None
+    if args.trace_out or args.metrics_out or args.events_out:
+        collector = ObsCollector(
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
+            events_path=args.events_out,
+        )
+    config = _run_config(args, tracing=bool(args.trace_out or args.events_out))
+    # Trace backlogs park hundreds of queued jobs' allocations in host
+    # swap; size it like the replay harness's default, not like a
+    # single-node batch box.
+    config = _dc.replace(config, host_swap_capacity_bytes=256 * 1024**3)
+    result = replay_trace(
+        trace,
+        nodes=args.nodes,
+        gpus_per_node=args.gpus_per_node,
+        policy=args.policy,
+        config=config,
+        cpu_fraction=args.cpu_fraction,
+        label=f"cli:{args.policy}",
+        collector=collector,
+    )
+    metrics = result.metrics()
+    print(f"trace: {source}   jobs: {len(trace)}   "
+          f"nodes: {result.nodes} ({result.gpus} GPUs)   policy: {args.policy}")
+    rows = [[key, f"{value:.4f}" if isinstance(value, float) else str(value)]
+            for key, value in metrics.items()]
+    print(format_table(["metric", "value"], rows))
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            _json.dump({"label": result.label, "policy": args.policy,
+                        "nodes": result.nodes, "gpus": result.gpus,
+                        "metrics": metrics}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench      : {args.bench_out}")
+    if collector is not None:
+        collector.flush()
+    return 0 if result.errors == 0 else 1
+
+
 def cmd_run(args) -> int:
+    if args.mode == "trace":
+        return cmd_run_trace(args)
+    if not args.jobs:
+        print("batch mode needs --jobs (or use: repro run trace ...)",
+              file=sys.stderr)
+        return 2
     jobs = _parse_jobs(args.jobs, args.cpu_fraction, use_runtime=not args.bare)
     if not jobs:
         print("no jobs requested", file=sys.stderr)
@@ -145,27 +256,8 @@ def cmd_run(args) -> int:
     if args.bare:
         config = None
     else:
-        config = RuntimeConfig(
-            vgpus_per_device=args.vgpus,
-            policy=args.policy,
-            migration_enabled=args.migration,
-            kernel_consolidation=args.consolidation,
-            defer_transfers=not args.eager_transfers,
-            overlap_transfers=args.overlap,
-            prefetch_enabled=args.prefetch,
-            swap_chunk_bytes=args.swap_chunk_mib * 1024**2,
-            eviction_mode=args.eviction_mode,
-            eviction_policy=args.eviction_policy,
-            tracing=bool(args.trace_out or args.events_out),
-            qos_enabled=args.qos,
-            vgpu_quantum_s=args.vgpu_quantum_s,
-            locality_binding=args.locality,
-            migration_penalty_s=args.migration_penalty_s,
-            allocator_placement=args.allocator,
-            launch_control_plane_s=args.launch_control_plane_s,
-            batch_max_calls=args.batch_max_calls,
-            batch_max_delay_s=args.batch_max_delay_s,
-            graph_replay_enabled=args.graph_replay,
+        config = _run_config(
+            args, tracing=bool(args.trace_out or args.events_out)
         )
     result = run_node_batch(jobs, args.gpus, config, label="cli",
                             collector=collector)
@@ -193,7 +285,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_obs_report(args) -> int:
-    from repro.obs import load_phase_breakdowns, render_report
+    from repro.obs import load_phase_breakdowns, render_jobs_report, render_report
 
     try:
         with open(args.trace, "r", encoding="utf-8") as fh:
@@ -205,7 +297,10 @@ def cmd_obs_report(args) -> int:
         print(f"no PhaseBreakdown events in {args.trace} "
               "(was the run traced with --events-out?)", file=sys.stderr)
         return 1
-    print(render_report(records, top=args.top))
+    if args.jobs:
+        print(render_jobs_report(records, top=args.top))
+    else:
+        print(render_report(records, top=args.top))
     return 0
 
 
@@ -230,8 +325,16 @@ def main(argv=None) -> int:
         func=cmd_catalog
     )
 
-    run = sub.add_parser("run", help="run a job batch on one simulated node")
-    run.add_argument("--jobs", nargs="+", required=True, metavar="TAG[:N]|N",
+    run = sub.add_parser(
+        "run",
+        help="run a job batch on one simulated node, or replay a "
+             "production trace across a cluster (run trace ...)",
+    )
+    run.add_argument("mode", nargs="?", default="batch",
+                     choices=("batch", "trace"),
+                     help="'batch' (default): a job mix on one node; "
+                          "'trace': open-loop trace replay on a cluster")
+    run.add_argument("--jobs", nargs="+", metavar="TAG[:N]|N",
                      help="e.g. MM-L:6 BS-L:2 HS, or a bare count "
                           "(cycles a default memory-heavy mix)")
     run.add_argument("--gpus", type=_parse_gpus, default=[TESLA_C2050],
@@ -293,6 +396,22 @@ def main(argv=None) -> int:
     run.add_argument("--prefetch", action="store_true",
                      help="stage the predicted next-launch working set "
                           "during CPU phases (needs --overlap)")
+    run.add_argument("--trace", metavar="FILE",
+                     help="[trace mode] replay this CSV/JSON-lines trace file")
+    run.add_argument("--synthetic", type=int, default=0, metavar="N",
+                     help="[trace mode] generate an N-job synthetic "
+                          "trace-shaped workload instead of loading a file")
+    run.add_argument("--nodes", type=int, default=8, metavar="K",
+                     help="[trace mode] cluster size (default 8)")
+    run.add_argument("--gpus-per-node", type=int, default=2, metavar="G",
+                     help="[trace mode] GPUs per node (default 2)")
+    run.add_argument("--seed", type=int, default=0, metavar="S",
+                     help="[trace mode] synthetic generator seed")
+    run.add_argument("--arrival-rate", type=float, default=10.0,
+                     metavar="JOBS_PER_S",
+                     help="[trace mode] synthetic mean arrival rate")
+    run.add_argument("--bench-out", metavar="FILE",
+                     help="[trace mode] write replay metrics as JSON")
     run.add_argument("--trace-out", metavar="FILE",
                      help="write a Chrome trace-event JSON of the run")
     run.add_argument("--metrics-out", metavar="FILE",
@@ -312,6 +431,9 @@ def main(argv=None) -> int:
                     "phase attribution tables plus the slowest calls.",
     )
     report.add_argument("trace", help="JSON-lines trace file")
+    report.add_argument("--jobs", action="store_true",
+                        help="per-job / per-user JCT tables instead of "
+                             "phase attribution")
     report.add_argument("--top", type=int, default=10, metavar="N",
                         help="critical-path rows to show (default 10)")
     report.set_defaults(func=cmd_obs_report)

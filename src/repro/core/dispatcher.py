@@ -1101,6 +1101,16 @@ class Dispatcher:
         else:
             self.scheduler.cancel_wait(ctx)
         self.runtime.admission.release(ctx)
+        # History-estimator policies (sjf_est/hrrn) learn from every
+        # completed context: measured GPU seconds keyed by its tenant.
+        estimator = getattr(self.scheduler.policy, "estimator", None)
+        if estimator is not None and ctx.gpu_seconds_used > 0:
+            tenant = ctx.tenant
+            estimator.observe(
+                tenant.name if tenant is not None else None,
+                ctx.gpu_seconds_used,
+                group=getattr(tenant, "group", None),
+            )
         if ctx.tenant is not None:
             ctx.tenant.detach(ctx)
         ctx.state = ContextState.DONE

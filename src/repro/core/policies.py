@@ -20,16 +20,33 @@ Three policies from the paper's discussion are provided:
     Credit-based fairness: the context that has consumed the least GPU
     time so far goes first.
 
-Plus ``edf`` (deadline QoS), ``wfq`` (weighted-fair across tenants) and
+Plus ``edf`` (deadline QoS), ``wfq`` (weighted-fair across tenants),
 ``locality`` (cost-model-driven: bind waiters where their data lives —
-see :mod:`repro.core.memory.costmodel` and ``docs/scheduling.md``).
+see :mod:`repro.core.memory.costmodel` and ``docs/scheduling.md``), and
+the history-driven trio the trace-replay bake-off compares
+(``docs/trace_replay.md``):
+
+``sjf_est``
+    Shortest-remaining-job-first on a *learned* runtime estimate: no
+    profiling hints, just the per-user/per-group EWMA history of a
+    :class:`~repro.core.estimator.RuntimeEstimator` — the key idea of
+    production trace simulators.
+``hrrn``
+    Highest-response-ratio-next: serve the waiter maximizing
+    ``(wait + est_service) / est_service`` — SJF's throughput with
+    built-in aging, so long jobs cannot starve.
+``fairshare``
+    Unweighted fair share across users with a group level above them:
+    the waiter whose group, then user, has consumed the least GPU time
+    goes first (max-min on usage, the classic HPC fair-share tree).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.context import Context
+from repro.core.estimator import RuntimeEstimator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.vgpu import VirtualGPU
@@ -42,6 +59,9 @@ __all__ = [
     "DeadlinePolicy",
     "WeightedFairPolicy",
     "LocalityPolicy",
+    "EstimatorSjfPolicy",
+    "HrrnPolicy",
+    "FairSharePolicy",
     "POLICY_NAMES",
     "make_policy",
 ]
@@ -251,6 +271,178 @@ class LocalityPolicy(_BasePolicy):
         return chosen
 
 
+class EstimatorSjfPolicy(_BasePolicy):
+    """Shortest-remaining-job-first on learned runtime estimates.
+
+    Production traces carry no profiling hints, so plain ``sjf`` (which
+    needs ``estimated_gpu_seconds`` on the handshake) degrades to FCFS
+    on them.  This policy instead asks a
+    :class:`~repro.core.estimator.RuntimeEstimator` — per-user EWMA
+    history with group/global fallback — and orders waiters by
+    *remaining* estimated work (estimate minus GPU seconds already
+    consumed), so a preempted job near completion is not re-queued
+    behind fresh short jobs.
+
+    The estimator is wired like the locality policy's cost model: the
+    node runtime supplies a node-local one fed by the dispatcher at
+    context exit, and the trace-replay harness overrides it with a
+    shared cluster-wide instance.  A handshake hint, when present,
+    serves as the cold-start fallback; with neither, the waiter sorts
+    last among estimated ones (FCFS among fully unknown).
+    """
+
+    name = "sjf_est"
+
+    def __init__(self) -> None:
+        #: Wired by the runtime / trace-replay harness.
+        self.estimator: Optional[RuntimeEstimator] = None
+
+    def _remaining(self, ctx: Context) -> float:
+        est = None
+        if self.estimator is not None:
+            est = self.estimator.predict_for(ctx)
+        if est is None:
+            est = ctx.estimated_gpu_seconds
+        if est is None:
+            return float("inf")
+        return max(est - ctx.gpu_seconds_used, 0.0)
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        return min(waiting, key=lambda c: (self._remaining(c), c.context_id))
+
+
+class HrrnPolicy(_BasePolicy):
+    """Highest-response-ratio-next (Brinch Hansen's aging SJF).
+
+    Serve the waiter with the largest ``(wait + s) / s`` where ``wait``
+    is time spent on the waiting list (``ctx.wait_since``, stamped by
+    the scheduler at enqueue) and ``s`` the estimated service time from
+    the shared :class:`~repro.core.estimator.RuntimeEstimator` (same
+    wiring and fallbacks as ``sjf_est``).  Short jobs win when waits are
+    comparable — but every second queued inflates a long job's ratio,
+    so nothing starves.  With no estimate anywhere the service time
+    defaults to 1.0 modeled second, degrading to longest-wait-first
+    (= FCFS order).
+    """
+
+    name = "hrrn"
+
+    #: Service-time floor: keeps ratios finite for near-zero estimates.
+    min_service_s = 1e-3
+
+    def __init__(self) -> None:
+        self.estimator: Optional[RuntimeEstimator] = None
+
+    def _service(self, ctx: Context) -> float:
+        est = None
+        if self.estimator is not None:
+            est = self.estimator.predict_for(ctx)
+        if est is None:
+            est = ctx.estimated_gpu_seconds
+        if est is None:
+            est = 1.0
+        return max(max(est - ctx.gpu_seconds_used, 0.0), self.min_service_s)
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+
+        def ratio(ctx: Context) -> float:
+            wait = max(ctx.env.now - ctx.wait_since, 0.0)
+            service = self._service(ctx)
+            return (wait + service) / service
+
+        return min(waiting, key=lambda c: (-ratio(c), c.context_id))
+
+
+class FairSharePolicy(_BasePolicy):
+    """Hierarchical unweighted fair share with usage decay: group, then
+    user, then FCFS.
+
+    The classic HPC fair-share tree (Slurm's multifactor priority)
+    flattened to two levels: among the waiters, first equalize *group*
+    GPU-time consumption, within the winning group equalize *user*
+    (tenant) consumption, and break ties FCFS.  Unlike ``wfq`` this
+    ignores contract weights — every user deserves the same slice,
+    which is what the Jain's-fairness column of the trace bake-off
+    measures — and it adds the group level that production traces
+    (users belong to departments) need.
+
+    Usage is **exponentially decayed** with ``half_life_s`` exactly as
+    production fair-share schedulers do: a burst submitted an hour ago
+    is forgiven, and ordering reflects *recent* consumption.  Without
+    decay, cumulative usage turns into a strict priority inversion
+    against heavy users — the top Zipf user in a production trace is
+    starved for the whole run and its slowdown tail explodes, which is
+    anti-fair by the very metric fair share exists to protect.  Decayed
+    per-user fair share approximates per-user processor sharing, whose
+    hallmark is *equalized slowdowns* across users regardless of their
+    demand.
+
+    Group aggregates sum over **all** tenants of the group, not just the
+    currently waiting ones, via ``tenants_fn`` (wired by the runtime to
+    the node's :class:`~repro.qos.TenantRegistry`); without the wiring
+    the aggregate degrades to the waiter's own tenant usage.  Contexts
+    with no tenant compete on their own (undecayed) consumed GPU
+    seconds.
+    """
+
+    name = "fairshare"
+
+    def __init__(self, half_life_s: float = 30.0) -> None:
+        #: Wired by the runtime: () -> all registered tenants.
+        self.tenants_fn: Optional[Callable[[], List]] = None
+        #: Usage forgiveness half-life (simulated seconds); <= 0
+        #: disables decay (pure cumulative fair share).
+        self.half_life_s = half_life_s
+        #: tenant name -> [decayed_usage, last_raw_usage, last_update_t]
+        self._ledger: Dict[str, List[float]] = {}
+
+    def _decayed_usage(self, tenant, now: float) -> float:
+        """Incrementally maintained ``Σ Δusage·2^(-age/half_life)``."""
+        entry = self._ledger.get(tenant.name)
+        raw = tenant.gpu_seconds_used
+        if entry is None:
+            entry = [0.0, 0.0, now]
+            self._ledger[tenant.name] = entry
+        decayed, last_raw, last_t = entry
+        if self.half_life_s > 0 and now > last_t:
+            decayed *= 0.5 ** ((now - last_t) / self.half_life_s)
+        decayed += max(raw - last_raw, 0.0)
+        entry[0], entry[1], entry[2] = decayed, raw, now
+        return decayed
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        now = waiting[0].env.now
+        usage: Dict[str, float] = {}
+        group_usage: Dict[str, float] = {}
+        if self.tenants_fn is not None:
+            for tenant in self.tenants_fn():
+                used = self._decayed_usage(tenant, now)
+                usage[tenant.name] = used
+                group = getattr(tenant, "group", None)
+                if group is not None:
+                    group_usage[group] = group_usage.get(group, 0.0) + used
+
+        def key(ctx: Context):
+            tenant = getattr(ctx, "tenant", None)
+            if tenant is None:
+                return (ctx.gpu_seconds_used, ctx.gpu_seconds_used,
+                        ctx.context_id)
+            t_used = usage.get(tenant.name)
+            if t_used is None:
+                t_used = self._decayed_usage(tenant, now)
+            group = getattr(tenant, "group", None)
+            g_used = group_usage.get(group, t_used)
+            return (g_used, t_used, ctx.context_id)
+
+        return min(waiting, key=key)
+
+
 _POLICIES = {
     p.name: p
     for p in (
@@ -260,6 +452,9 @@ _POLICIES = {
         DeadlinePolicy,
         WeightedFairPolicy,
         LocalityPolicy,
+        EstimatorSjfPolicy,
+        HrrnPolicy,
+        FairSharePolicy,
     )
 }
 

@@ -155,6 +155,18 @@ class NodeRuntime:
                 self.memory.eviction_policy.cost_fn = (
                     lambda ctx, pte: self.cost_model.evict_cost(ctx, pte, env.now)
                 )
+        # History-estimator policies (sjf_est/hrrn): a node-local
+        # estimator fed by the dispatcher at context exit.  The
+        # trace-replay harness replaces it with one shared cluster-wide
+        # instance so every node's policy sees the head node's history.
+        if hasattr(policy, "estimator") and policy.estimator is None:
+            from repro.core.estimator import RuntimeEstimator
+
+            policy.estimator = RuntimeEstimator()
+        # Fair-share needs the whole tenant population for its group
+        # aggregates, not just the tenants currently waiting.
+        if hasattr(policy, "tenants_fn") and policy.tenants_fn is None:
+            policy.tenants_fn = self.qos.tenants
 
     # ------------------------------------------------------------------
     # lifecycle

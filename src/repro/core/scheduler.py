@@ -241,6 +241,7 @@ class Scheduler:
         ev = Event(self.env)
         self._waiting_events[ctx] = ev
         self._enqueued_at[ctx] = self.env.now
+        ctx.wait_since = self.env.now
         if front:
             self._waiting.insert(0, ctx)
         else:

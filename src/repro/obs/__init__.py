@@ -42,7 +42,10 @@ from repro.obs.slo import SLOMonitor, percentile
 from repro.obs.report import (
     aggregate_phases,
     critical_path,
+    job_completion,
     load_phase_breakdowns,
+    per_user_jct,
+    render_jobs_report,
     render_report,
 )
 from repro.obs.metrics import (
@@ -96,7 +99,10 @@ __all__ = [
     "percentile",
     "aggregate_phases",
     "critical_path",
+    "job_completion",
     "load_phase_breakdowns",
+    "per_user_jct",
+    "render_jobs_report",
     "render_report",
     # metrics
     "BYTES_BUCKETS",

@@ -27,7 +27,10 @@ __all__ = [
     "load_phase_breakdowns",
     "aggregate_phases",
     "critical_path",
+    "job_completion",
+    "per_user_jct",
     "render_report",
+    "render_jobs_report",
 ]
 
 #: Column order for phase tables: every named phase, residual last.
@@ -97,6 +100,122 @@ def critical_path(
             }
         )
     return out
+
+
+def job_completion(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-job (per-context) completion view of a trace.
+
+    A context *is* one application run in this codebase — trace replay
+    opens one frontend connection per job rank — so the span from its
+    first call's ``begin_at`` to its last call's end approximates the
+    job's time on the runtime, and the summed ``queue_wait``/``bind_wait``
+    phases are the scheduling delay it experienced.  Sorted by JCT,
+    slowest first.
+    """
+    jobs: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        name = record.get("context", "-")
+        begin = float(record.get("begin_at", 0.0))
+        wall = float(record.get("wall", 0.0))
+        j = jobs.get(name)
+        if j is None:
+            j = jobs[name] = {
+                "job": name,
+                "tenant": record.get("tenant") or "-",
+                "calls": 0,
+                "first_begin": begin,
+                "last_end": begin + wall,
+                "queue_s": 0.0,
+            }
+        j["calls"] += 1
+        j["first_begin"] = min(j["first_begin"], begin)
+        j["last_end"] = max(j["last_end"], begin + wall)
+        for phase, seconds in _phases_of(record).items():
+            if phase in ("queue_wait", "bind_wait"):
+                j["queue_s"] += seconds
+    out = []
+    for j in jobs.values():
+        j["jct"] = j["last_end"] - j["first_begin"]
+        j["queue_share"] = j["queue_s"] / j["jct"] if j["jct"] > 0 else 0.0
+        out.append(j)
+    return sorted(out, key=lambda j: (-j["jct"], j["job"]))
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    import math
+
+    rank = min(len(ordered) - 1, max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def per_user_jct(jobs: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """tenant → JCT statistics (jobs, mean/p50/p99 JCT, queue share)."""
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for j in jobs:
+        groups.setdefault(j["tenant"], []).append(j)
+    out: Dict[str, Dict[str, Any]] = {}
+    for tenant, js in sorted(groups.items()):
+        jcts = [j["jct"] for j in js]
+        queue = sum(j["queue_s"] for j in js)
+        total = sum(jcts)
+        out[tenant] = {
+            "jobs": len(js),
+            "mean_jct": sum(jcts) / len(jcts),
+            "p50_jct": _percentile(jcts, 50.0),
+            "p99_jct": _percentile(jcts, 99.0),
+            "queue_share": queue / total if total > 0 else 0.0,
+        }
+    return out
+
+
+def render_jobs_report(records: List[Dict[str, Any]], top: int = 10) -> str:
+    """``repro obs report --jobs``: per-job and per-user JCT tables."""
+    from repro.experiments.report import format_table
+
+    if not records:
+        return "no PhaseBreakdown events in trace (run with --events-out and tracing on)"
+    jobs = job_completion(records)
+    users = per_user_jct(jobs)
+    sections = [
+        f"{len(jobs)} jobs ({len(records)} calls) across {len(users)} users",
+        "",
+        "== per-user JCT ==",
+        format_table(
+            ["user", "jobs", "mean_jct_s", "p50_jct_s", "p99_jct_s", "queue%"],
+            [
+                [
+                    tenant,
+                    str(u["jobs"]),
+                    f"{u['mean_jct']:.3f}",
+                    f"{u['p50_jct']:.3f}",
+                    f"{u['p99_jct']:.3f}",
+                    f"{u['queue_share'] * 100:.1f}",
+                ]
+                for tenant, u in users.items()
+            ],
+        ),
+        "",
+        f"== {min(top, len(jobs))} slowest jobs ==",
+        format_table(
+            ["job", "user", "calls", "start_s", "jct_s", "queue_s", "queue%"],
+            [
+                [
+                    j["job"],
+                    j["tenant"],
+                    str(j["calls"]),
+                    f"{j['first_begin']:.3f}",
+                    f"{j['jct']:.3f}",
+                    f"{j['queue_s']:.3f}",
+                    f"{j['queue_share'] * 100:.1f}",
+                ]
+                for j in jobs[:top]
+            ],
+        ),
+    ]
+    return "\n".join(sections)
 
 
 def _phase_table(groups: Dict[str, Dict[str, Any]], label: str) -> str:

@@ -54,6 +54,12 @@ class Tenant:
     deadline_class:
         Free-form QoS class label (e.g. ``"batch"``/``"interactive"``),
         surfaced in the monitoring rollup for cluster-level schedulers.
+    group:
+        Share group this tenant belongs to (production traces: the
+        user's department/team).  The ``fairshare`` policy equalizes
+        GPU time across groups before users, and the runtime estimator
+        falls back to group history for cold-start users.  ``None``
+        keeps the tenant flat (no group level).
     """
 
     def __init__(
@@ -65,6 +71,7 @@ class Tenant:
         vgpu_share: Optional[float] = None,
         max_concurrent_contexts: Optional[int] = None,
         deadline_class: Optional[str] = None,
+        group: Optional[str] = None,
     ):
         if not name:
             raise ValueError("a tenant needs a name")
@@ -74,6 +81,7 @@ class Tenant:
             raise ValueError(f"vgpu_share must be in (0, 1], got {vgpu_share}")
         self.name = name
         self.weight = weight
+        self.group = group
         self.device_quota_bytes = device_quota_bytes
         self.swap_quota_bytes = swap_quota_bytes
         self.vgpu_share = vgpu_share
@@ -198,6 +206,7 @@ class TenantRegistry:
         for tenant in self._tenants.values():
             out[tenant.name] = {
                 "weight": tenant.weight,
+                "group": tenant.group,
                 "deadline_class": tenant.deadline_class,
                 "contexts": len(tenant.contexts),
                 "gpu_seconds": tenant.gpu_seconds_used,

@@ -20,12 +20,17 @@ paper's evaluation depends on:
 
 from repro.simcuda.errors import CudaError, CudaRuntimeError
 from repro.simcuda.device import (
+    DEVICE_SPECS,
     GPUSpec,
     GPUDevice,
     INTEL_MIC,
     TESLA_C2050,
     TESLA_C1060,
+    TESLA_P100,
+    TESLA_T4,
+    TESLA_V100,
     QUADRO_2000,
+    device_spec,
 )
 from repro.simcuda.allocator import DeviceAllocator, OutOfMemory
 from repro.simcuda.context import CudaContext
@@ -40,6 +45,7 @@ __all__ = [
     "CudaError",
     "CudaRuntimeAPI",
     "CudaRuntimeError",
+    "DEVICE_SPECS",
     "DeviceAllocator",
     "FatBinary",
     "GPUDevice",
@@ -51,4 +57,8 @@ __all__ = [
     "QUADRO_2000",
     "TESLA_C1060",
     "TESLA_C2050",
+    "TESLA_P100",
+    "TESLA_T4",
+    "TESLA_V100",
+    "device_spec",
 ]

@@ -23,10 +23,23 @@ import dataclasses
 import itertools
 from typing import Optional
 
+from typing import Dict
+
 from repro.sim import Container, Environment, Resource
 from repro.simcuda.allocator import DeviceAllocator
 
-__all__ = ["GPUSpec", "GPUDevice", "TESLA_C2050", "TESLA_C1060", "QUADRO_2000"]
+__all__ = [
+    "GPUSpec",
+    "GPUDevice",
+    "TESLA_C2050",
+    "TESLA_C1060",
+    "QUADRO_2000",
+    "TESLA_T4",
+    "TESLA_P100",
+    "TESLA_V100",
+    "DEVICE_SPECS",
+    "device_spec",
+]
 
 GIB = 1024**3
 MIB = 1024**2
@@ -129,6 +142,79 @@ INTEL_MIC = GPUSpec(
     max_contexts=16,  # a full Linux on the card: more generous than CUDA
     context_reservation_bytes=32 * MIB,
 )
+
+#: Cluster-trace-era datacenter cards (Alibaba ``cluster-trace-gpu-v2020``
+#: heterogeneity: T4 inference boxes, P100/V100 training boxes).  The
+#: paper's timing model only needs SM geometry, clocks, memory size and
+#: host-link bandwidth; the efficiency factors are calibrated the same
+#: way as the testbed cards — application-level sustained throughput,
+#: not marketing FLOPs.  These presets back the trace-replay harness's
+#: ``gpu_type`` column (:mod:`repro.workloads.trace_replay`).
+
+TESLA_T4 = GPUSpec(
+    name="Tesla T4",
+    sm_count=40,
+    cores_per_sm=64,
+    clock_ghz=1.59,
+    memory_bytes=16 * GIB,
+    pcie_gbps=12.0,          # PCIe 3.0 x16
+    efficiency=0.35,         # 70 W inference card: heavily power-capped
+    max_contexts=16,
+    context_reservation_bytes=96 * MIB,
+)
+
+TESLA_P100 = GPUSpec(
+    name="Tesla P100",
+    sm_count=56,
+    cores_per_sm=64,
+    clock_ghz=1.30,
+    memory_bytes=16 * GIB,
+    pcie_gbps=12.0,          # PCIe 3.0 x16 (NVLink variants exist; the
+    efficiency=0.50,         # trace boxes are the PCIe flavor)
+    max_contexts=16,
+    context_reservation_bytes=96 * MIB,
+)
+
+TESLA_V100 = GPUSpec(
+    name="Tesla V100",
+    sm_count=80,
+    cores_per_sm=64,
+    clock_ghz=1.38,
+    memory_bytes=32 * GIB,
+    pcie_gbps=20.0,          # NVLink-era host link (NVLink 2.0 bricks)
+    efficiency=0.55,
+    max_contexts=32,
+    context_reservation_bytes=128 * MIB,
+)
+
+#: Registry keyed by the strings production traces use in their
+#: ``gpu_type`` column (plus the paper-testbed names for completeness).
+#: Lookup is case-insensitive via :func:`device_spec`.
+DEVICE_SPECS: Dict[str, GPUSpec] = {
+    "T4": TESLA_T4,
+    "P100": TESLA_P100,
+    "V100": TESLA_V100,
+    "C2050": TESLA_C2050,
+    "C1060": TESLA_C1060,
+    "QUADRO2000": QUADRO_2000,
+    "MIC": INTEL_MIC,
+}
+
+
+def device_spec(gpu_type: str) -> GPUSpec:
+    """Resolve a trace ``gpu_type`` string to its :class:`GPUSpec`.
+
+    Raises :class:`KeyError` with the known names for typo'd types, so a
+    malformed trace fails loudly at load time rather than mid-replay.
+    """
+    key = gpu_type.strip().upper()
+    try:
+        return DEVICE_SPECS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown gpu_type {gpu_type!r}; known: {sorted(DEVICE_SPECS)}"
+        ) from None
+
 
 _device_ids = itertools.count()
 

@@ -22,6 +22,16 @@ from repro.workloads.catalog import (
     workload,
 )
 from repro.workloads.generator import draw_short_jobs, make_job
+from repro.workloads.trace_replay import (
+    TraceJob,
+    TraceReplayResult,
+    jain_index,
+    load_trace,
+    loads_trace,
+    replay_trace,
+    save_trace,
+    synthetic_trace,
+)
 
 __all__ = [
     "ALL_WORKLOADS",
@@ -30,9 +40,17 @@ __all__ = [
     "DeviceAPI",
     "draw_short_jobs",
     "FrontendAdapter",
+    "jain_index",
+    "load_trace",
+    "loads_trace",
     "LONG_RUNNING",
     "make_job",
+    "replay_trace",
+    "save_trace",
     "SHORT_RUNNING",
+    "synthetic_trace",
+    "TraceJob",
+    "TraceReplayResult",
     "workload",
     "WorkloadSpec",
 ]

@@ -1,0 +1,223 @@
+"""RuntimeEstimator and the history-driven policies (sjf_est, hrrn,
+fairshare)."""
+
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.estimator import RuntimeEstimator
+from repro.core.policies import (
+    POLICY_NAMES,
+    EstimatorSjfPolicy,
+    FairSharePolicy,
+    HrrnPolicy,
+    make_policy,
+)
+from repro.qos.tenant import Tenant
+
+
+class FakeEnv:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class FakeCtx:
+    _seq = iter(range(10000))
+
+    def __init__(self, tenant=None, gpu_seconds_used=0.0, wait_since=0.0,
+                 estimated_gpu_seconds=None, now=100.0):
+        self.context_id = next(self._seq)
+        self.tenant = tenant
+        self.gpu_seconds_used = gpu_seconds_used
+        self.wait_since = wait_since
+        self.estimated_gpu_seconds = estimated_gpu_seconds
+        self.env = FakeEnv(now)
+
+
+class TestRuntimeEstimator:
+    def test_cold_start_none(self):
+        assert RuntimeEstimator().predict("alice") is None
+
+    def test_user_history_wins(self):
+        est = RuntimeEstimator(min_samples=2)
+        for _ in range(3):
+            est.observe("alice", 10.0, group="ml")
+            est.observe("bob", 1.0, group="web")
+        assert est.predict("alice") == pytest.approx(10.0)
+        assert est.predict("bob") == pytest.approx(1.0)
+
+    def test_group_fallback_for_cold_user(self):
+        est = RuntimeEstimator(min_samples=2)
+        for _ in range(4):
+            est.observe("alice", 8.0, group="ml")
+        # carol has no history; her group does.
+        assert est.predict("carol", group="ml") == pytest.approx(8.0)
+
+    def test_global_fallback(self):
+        est = RuntimeEstimator()
+        est.observe("alice", 4.0)
+        assert est.predict("nobody", group="nogroup") == pytest.approx(4.0)
+
+    def test_ewma_tracks_drift(self):
+        est = RuntimeEstimator(alpha=0.5, min_samples=1)
+        est.observe("u", 10.0)
+        est.observe("u", 0.0)
+        assert est.predict("u") == pytest.approx(5.0)
+
+    def test_negative_sample_ignored(self):
+        est = RuntimeEstimator()
+        est.observe("u", -1.0)
+        assert est.observations == 0
+
+    def test_predict_for_uses_tenant(self):
+        est = RuntimeEstimator(min_samples=1)
+        est.observe("alice", 7.0)
+        ctx = FakeCtx(tenant=Tenant("alice"))
+        assert est.predict_for(ctx) == pytest.approx(7.0)
+
+
+class TestRegistration:
+    def test_new_policies_registered(self):
+        for name in ("sjf_est", "hrrn", "fairshare"):
+            assert name in POLICY_NAMES
+            assert make_policy(name).name == name
+
+    def test_runtime_wires_estimator_and_tenants(self):
+        from repro.core.runtime import NodeRuntime
+        from repro.sim import Environment
+        from repro.simcuda.device import TESLA_C2050
+        from repro.simcuda.driver import CudaDriver
+
+        env = Environment()
+        rt = NodeRuntime(env, CudaDriver(env, [TESLA_C2050]),
+                         config=RuntimeConfig(policy="sjf_est"))
+        assert isinstance(rt.scheduler.policy.estimator, RuntimeEstimator)
+        rt2 = NodeRuntime(env, CudaDriver(env, [TESLA_C2050]),
+                          config=RuntimeConfig(policy="fairshare"))
+        assert rt2.scheduler.policy.tenants_fn is not None
+
+
+class TestEstimatorSjf:
+    def test_prefers_predicted_short(self):
+        est = RuntimeEstimator(min_samples=1)
+        est.observe("short", 1.0)
+        est.observe("short", 1.0)
+        est.observe("long", 50.0)
+        est.observe("long", 50.0)
+        policy = EstimatorSjfPolicy()
+        policy.estimator = est
+        a = FakeCtx(tenant=Tenant("long"))
+        b = FakeCtx(tenant=Tenant("short"))
+        assert policy.pick_next([a, b]) is b
+
+    def test_remaining_discounts_used_time(self):
+        est = RuntimeEstimator(min_samples=1)
+        est.observe("u", 10.0)
+        est.observe("v", 10.0)
+        policy = EstimatorSjfPolicy()
+        policy.estimator = est
+        nearly_done = FakeCtx(tenant=Tenant("u"), gpu_seconds_used=9.5)
+        fresh = FakeCtx(tenant=Tenant("v"), gpu_seconds_used=0.0)
+        assert policy.pick_next([fresh, nearly_done]) is nearly_done
+
+    def test_cold_start_falls_back_to_hint_then_fcfs(self):
+        policy = EstimatorSjfPolicy()
+        policy.estimator = RuntimeEstimator()
+        hinted = FakeCtx(estimated_gpu_seconds=2.0)
+        unhinted = FakeCtx()
+        assert policy.pick_next([unhinted, hinted]) is hinted
+
+    def test_empty_queue(self):
+        assert EstimatorSjfPolicy().pick_next([]) is None
+
+
+class TestHrrn:
+    def test_long_wait_beats_short_service(self):
+        est = RuntimeEstimator(min_samples=1)
+        for _ in range(2):
+            est.observe("a", 10.0)
+            est.observe("b", 10.0)
+        policy = HrrnPolicy()
+        policy.estimator = est
+        old = FakeCtx(tenant=Tenant("a"), wait_since=0.0, now=100.0)
+        young = FakeCtx(tenant=Tenant("b"), wait_since=99.0, now=100.0)
+        assert policy.pick_next([young, old]) is old
+
+    def test_shorter_service_wins_equal_wait(self):
+        est = RuntimeEstimator(min_samples=1)
+        for _ in range(2):
+            est.observe("fast", 1.0)
+            est.observe("slow", 100.0)
+        policy = HrrnPolicy()
+        policy.estimator = est
+        slow = FakeCtx(tenant=Tenant("slow"), wait_since=50.0, now=100.0)
+        fast = FakeCtx(tenant=Tenant("fast"), wait_since=50.0, now=100.0)
+        assert policy.pick_next([slow, fast]) is fast
+
+
+class TestFairShare:
+    def _wire(self, policy, tenants):
+        policy.tenants_fn = lambda: tenants
+
+    def test_lighter_user_first(self):
+        policy = FairSharePolicy()
+        heavy = Tenant("heavy", group="g1")
+        light = Tenant("light", group="g1")
+        heavy.gpu_seconds_used = 100.0
+        light.gpu_seconds_used = 1.0
+        self._wire(policy, [heavy, light])
+        a = FakeCtx(tenant=heavy)
+        b = FakeCtx(tenant=light)
+        assert policy.pick_next([a, b]) is b
+
+    def test_group_level_dominates(self):
+        policy = FairSharePolicy()
+        # g1 as a group consumed more, even though the g1 waiter itself
+        # is lighter than the g2 waiter.
+        g1a = Tenant("g1a", group="g1")
+        g1b = Tenant("g1b", group="g1")
+        g2a = Tenant("g2a", group="g2")
+        g1a.gpu_seconds_used = 1.0
+        g1b.gpu_seconds_used = 100.0
+        g2a.gpu_seconds_used = 5.0
+        self._wire(policy, [g1a, g1b, g2a])
+        assert policy.pick_next(
+            [FakeCtx(tenant=g1a), FakeCtx(tenant=g2a)]
+        ).tenant is g2a
+
+    def test_usage_decays(self):
+        policy = FairSharePolicy(half_life_s=10.0)
+        old_heavy = Tenant("old", group="g1")
+        recent = Tenant("recent", group="g2")
+        old_heavy.gpu_seconds_used = 100.0
+        recent.gpu_seconds_used = 0.0
+        self._wire(policy, [old_heavy, recent])
+        # Observe the usage at t=0, then let 20 half-lives pass while
+        # `recent` consumes a little.
+        policy.pick_next([FakeCtx(tenant=old_heavy, now=0.0)])
+        recent.gpu_seconds_used = 5.0
+        picked = policy.pick_next(
+            [FakeCtx(tenant=old_heavy, now=200.0),
+             FakeCtx(tenant=recent, now=200.0)]
+        )
+        assert picked.tenant is old_heavy
+
+    def test_no_decay_when_disabled(self):
+        policy = FairSharePolicy(half_life_s=0.0)
+        heavy = Tenant("h", group="g1")
+        light = Tenant("l", group="g2")
+        heavy.gpu_seconds_used = 100.0
+        light.gpu_seconds_used = 1.0
+        self._wire(policy, [heavy, light])
+        policy.pick_next([FakeCtx(tenant=heavy, now=0.0)])
+        picked = policy.pick_next(
+            [FakeCtx(tenant=heavy, now=1000.0),
+             FakeCtx(tenant=light, now=1000.0)]
+        )
+        assert picked.tenant is light
+
+    def test_tenantless_context_uses_own_usage(self):
+        policy = FairSharePolicy()
+        self._wire(policy, [])
+        a = FakeCtx(gpu_seconds_used=5.0)
+        b = FakeCtx(gpu_seconds_used=1.0)
+        assert policy.pick_next([a, b]) is b

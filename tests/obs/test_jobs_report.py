@@ -1,0 +1,102 @@
+"""Per-job / per-user JCT reporting (``repro obs report --jobs``)."""
+
+import json
+
+from repro.cli import main
+from repro.obs import (
+    job_completion,
+    load_phase_breakdowns,
+    per_user_jct,
+    render_jobs_report,
+)
+
+
+def _record(context="job0", tenant="alice", begin_at=0.0, wall=1.0,
+            phases=None):
+    return {
+        "kind": "PhaseBreakdown",
+        "at": begin_at + wall,
+        "context": context,
+        "method": "cudaLaunch",
+        "trace_id": 1,
+        "span_id": 1,
+        "begin_at": begin_at,
+        "wall": wall,
+        "phases": phases if phases is not None
+        else [["exec", wall * 0.75], ["queue_wait", wall * 0.25]],
+        "tenant": tenant,
+        "error": None,
+        "device_id": 0,
+        "vgpu": "vgpu0",
+        "node": "node0",
+    }
+
+
+class TestJobCompletion:
+    def test_jct_spans_first_to_last_call(self):
+        records = [
+            _record(context="j1", begin_at=0.0, wall=1.0),
+            _record(context="j1", begin_at=5.0, wall=2.0),
+        ]
+        jobs = job_completion(records)
+        assert len(jobs) == 1
+        assert jobs[0]["jct"] == 7.0
+        assert jobs[0]["calls"] == 2
+
+    def test_queue_seconds_summed(self):
+        records = [
+            _record(context="j1", begin_at=0.0, wall=4.0,
+                    phases=[["queue_wait", 1.0], ["bind_wait", 0.5],
+                            ["exec", 2.5]]),
+        ]
+        job = job_completion(records)[0]
+        assert job["queue_s"] == 1.5
+        assert job["queue_share"] == 1.5 / 4.0
+
+    def test_sorted_slowest_first(self):
+        records = [
+            _record(context="fast", begin_at=0.0, wall=1.0),
+            _record(context="slow", begin_at=0.0, wall=9.0),
+        ]
+        assert [j["job"] for j in job_completion(records)] == ["slow", "fast"]
+
+
+class TestPerUserJct:
+    def test_aggregates_by_tenant(self):
+        records = [
+            _record(context="j1", tenant="alice", wall=1.0),
+            _record(context="j2", tenant="alice", wall=3.0),
+            _record(context="j3", tenant="bob", wall=2.0),
+        ]
+        users = per_user_jct(job_completion(records))
+        assert users["alice"]["jobs"] == 2
+        assert users["alice"]["mean_jct"] == 2.0
+        assert users["alice"]["p50_jct"] == 1.0
+        assert users["bob"]["jobs"] == 1
+
+    def test_render_contains_tables(self):
+        records = [_record(context="j1"), _record(context="j2", tenant="bob")]
+        text = render_jobs_report(records)
+        assert "per-user JCT" in text
+        assert "slowest jobs" in text
+        assert "alice" in text and "bob" in text
+
+
+class TestCli:
+    def test_obs_report_jobs_flag(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(_record(context=f"j{i}")) for i in range(3))
+        )
+        assert main(["obs", "report", "--jobs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-user JCT" in out
+        assert "alice" in out
+
+    def test_round_trip_via_loader(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps(_record()) + "\nnot json\n")
+        with open(path) as fh:
+            records = load_phase_breakdowns(fh)
+        assert len(records) == 1
+        assert job_completion(records)[0]["tenant"] == "alice"

@@ -1,0 +1,161 @@
+"""Trace schema, loaders, and the synthetic generator."""
+
+import pytest
+
+from repro.workloads.trace_replay import (
+    TRACE_FIELDS,
+    TraceJob,
+    jain_index,
+    load_trace,
+    loads_trace,
+    percentile,
+    save_trace,
+    synthetic_trace,
+)
+
+MIB = 1024**2
+
+
+def make_job(**kw):
+    base = dict(
+        job_id="j1",
+        user="alice",
+        group="ml",
+        submit_time=1.5,
+        duration=2.0,
+        num_gpus=1,
+        gpu_type="V100",
+        mem_bytes=64 * MIB,
+    )
+    base.update(kw)
+    return TraceJob(**base)
+
+
+class TestSchema:
+    def test_fields_round_trip(self):
+        job = make_job()
+        assert tuple(job.to_json()) == TRACE_FIELDS
+        assert TraceJob.from_record(job.to_json()) == job
+
+    def test_extra_record_keys_ignored(self):
+        record = make_job().to_json()
+        record["status"] = "Terminated"
+        assert TraceJob.from_record(record) == make_job()
+
+    def test_missing_field_rejected(self):
+        record = make_job().to_json()
+        del record["duration"]
+        with pytest.raises(ValueError, match="duration"):
+            TraceJob.from_record(record)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"submit_time": -1.0},
+            {"duration": 0.0},
+            {"num_gpus": 0},
+            {"mem_bytes": 0},
+            {"gpu_type": "H9000"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kw):
+        with pytest.raises((ValueError, KeyError)):
+            make_job(**kw)
+
+    def test_gpu_type_case_insensitive(self):
+        make_job(gpu_type="v100")
+        make_job(gpu_type="t4")
+
+
+class TestLoadSave:
+    def test_csv_round_trip(self, tmp_path):
+        jobs = synthetic_trace(20, seed=1)
+        path = str(tmp_path / "trace.csv")
+        save_trace(jobs, path)
+        assert load_trace(path) == jobs
+
+    def test_jsonl_round_trip(self, tmp_path):
+        jobs = synthetic_trace(20, seed=1)
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(jobs, path)
+        assert load_trace(path) == jobs
+
+    def test_loads_sorts_by_submit_time(self):
+        a = make_job(job_id="a", submit_time=5.0)
+        b = make_job(job_id="b", submit_time=1.0)
+        text = "\n".join(
+            __import__("json").dumps(j.to_json()) for j in (a, b)
+        )
+        assert [j.job_id for j in loads_trace(text)] == ["b", "a"]
+
+    def test_loads_empty(self):
+        assert loads_trace("") == []
+        assert loads_trace("   \n  ") == []
+
+    def test_csv_header_sniffed(self):
+        job = make_job()
+        text = ",".join(TRACE_FIELDS) + "\n" + ",".join(
+            str(job.to_json()[f]) for f in TRACE_FIELDS
+        )
+        assert loads_trace(text) == [job]
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        assert synthetic_trace(100, seed=9) == synthetic_trace(100, seed=9)
+
+    def test_seed_changes_trace(self):
+        assert synthetic_trace(100, seed=1) != synthetic_trace(100, seed=2)
+
+    def test_shape(self):
+        jobs = synthetic_trace(300, seed=0)
+        assert len(jobs) == 300
+        assert all(j.duration > 0 for j in jobs)
+        assert all(
+            a.submit_time <= b.submit_time for a, b in zip(jobs, jobs[1:])
+        )
+        # Heterogeneous demands: more than one gpu_type, some multi-GPU.
+        assert len({j.gpu_type for j in jobs}) >= 2
+        assert any(j.num_gpus > 1 for j in jobs)
+        assert all(j.num_gpus in (1, 2, 4) for j in jobs)
+
+    def test_zipf_users(self):
+        jobs = synthetic_trace(500, seed=0, users=16)
+        counts = {}
+        for j in jobs:
+            counts[j.user] = counts.get(j.user, 0) + 1
+        top = max(counts.values())
+        # The most popular user dominates a uniform share by far.
+        assert top > 3 * (500 / 16)
+
+    def test_heavy_tail_durations(self):
+        jobs = synthetic_trace(800, seed=0)
+        durs = sorted(j.duration for j in jobs)
+        p50 = durs[len(durs) // 2]
+        assert durs[-1] > 5 * p50
+
+    def test_users_keep_group(self):
+        jobs = synthetic_trace(400, seed=3)
+        seen = {}
+        for j in jobs:
+            assert seen.setdefault(j.user, j.group) == j.group
+
+
+class TestMetricsHelpers:
+    def test_jain_uniform_is_one(self):
+        assert jain_index([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_jain_maximally_unfair(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(1.0)
+        assert jain_index([1.0, 1e-9, 1e-9, 1e-9]) == pytest.approx(
+            0.25, abs=0.01
+        )
+
+    def test_jain_empty(self):
+        assert jain_index([]) == 1.0
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50.0) == 2.0
+        assert percentile(values, 99.0) == 4.0
+        assert percentile([], 50.0) == 0.0
