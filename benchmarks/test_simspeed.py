@@ -3,103 +3,77 @@
 Every other benchmark reports *simulated* seconds; this one reports the
 simulator's own speed — events processed per wall-clock second, simulated
 seconds advanced per wall second, event-queue depth and the per-handler
-hotspot breakdown — for the canonical overcommitted job mix, with
-structured tracing off and on.
+hotspot breakdown — for the canonical overcommitted job mix, in four
+variants: stock vs macro-stepped model execution, tracing off vs on.
+The measurement itself lives in :mod:`repro.experiments.simspeed` (one
+runner shared with ``repro bench simspeed`` and CI).
 
-Four claims are asserted:
+Gates asserted here:
 
-* **Sim-time identity**: the run reproduces the PR 6 pinned simulated
-  results (``simspeed_baseline.json``) bit-for-bit — total time and every
-  per-job completion time.  The kernel rework (event cancellation, timer
-  wheel, ghost-waiter purging) may change how many events it takes, but
-  never *when* anything happens.
-* **Zero simulated cost**: the traced and untraced runs advance simulated
-  time identically and finish with identical batch results (tracing is
-  pure observation).
-* **Bounded wall cost**: tracing may not slow the simulator down by more
-  than ``MAX_TRACING_OVERHEAD`` (events/sec ratio, best of
-  ``REPEATS`` runs each way to damp scheduler noise).
-* **Throughput ratchet**: untraced events/sec must stay above
-  ``min_speedup`` x the baseline's recorded figure.  The ratchet is
-  deliberately below the measured speedup (see ``min_speedup`` in the
-  baseline JSON) because the recorded figure is machine-specific: CI
-  runners differ from the box that recorded it, so the gate is sized to
-  catch the integer-factor regressions an algorithmic mistake in the
-  kernel causes (O(n) queue scans, eager cancellation sweeps), not
-  scheduler noise.
+* **Sim-time identity (stock)**: the macro-off run reproduces the pinned
+  simulated results (``simspeed_baseline.json``) bit-for-bit — total
+  time and every per-job completion time.
+* **Sim-time identity (macro)**: the macro-stepped run reproduces the
+  stock run bit-for-bit — same total time, same per-job times, same
+  aggregate stats.  Macro-stepping collapses heap events, never moves a
+  timestamp.
+* **Zero simulated cost of tracing**: traced and untraced runs advance
+  simulated time identically, process identical event counts, and
+  tracing costs at most ``MAX_TRACING_OVERHEAD`` in events/sec.
+* **Throughput ratchet (machine-pinned)**: stock untraced events/sec
+  must stay above ``min_speedup`` x the baseline's recorded figure; the
+  failure message prints old -> new.
+* **Macro speedup (machine-independent)**: the macro run's
+  sim-s/wall-s must be at least ``min_macro_speedup`` x the stock run's
+  *in the same bench execution* — a same-machine ratio, so it gates the
+  fast paths, not the hardware.  Skipped when ``REPRO_MACRO_STEP=0``
+  disables macro-stepping (the CI identity job).
 
-The honest scorecard: the ROADMAP's 10x-throughput item targeted 10x
-(acceptance floor 5x); the rework measured ~1.13x on the recording
-machine.  Profiling shows why: the kernel was already thin (pop + two
-attribute loads + one callback per event), so cancellation and the timer
-wheel bought correctness and fewer events, while wall time is dominated
-by the *model's* generator code — irreducible Python function-call cost,
-not kernel overhead.  ``speedup_vs_baseline`` in the output records the
-actual ratio; see docs/simulator.md for the full breakdown.
+The honest scorecard (see docs/simulator.md): the macro-step work
+targeted an order of magnitude; the measured same-run sim-rate ratio on
+the recording machine is ~1.5-1.6x, because the event count is already
+near the structural floor (one delivery event per message plus genuine
+cross-vGPU interleave points) and the remaining wall time is the
+model's own generator code, which macro-stepping deliberately does not
+rewrite.  ``min_macro_speedup`` is sized below the measurement (1.25x)
+to absorb machine variance, like every other ratchet here.
 
-Writes ``BENCH_simspeed.json``.
+Writes ``BENCH_simspeed.json`` and ``BENCH_simspeed_hotspots.txt``
+(the SimProfiler hotspot artifact CI uploads).
 """
 
 import json
-import pathlib
 
-from repro.cli import _parse_jobs
-from repro.core import RuntimeConfig
-from repro.experiments.harness import run_node_batch
+import pytest
+
+from repro.experiments import simspeed
 from repro.experiments.report import format_table
-from repro.obs import ObsCollector
-from repro.sim import SimProfiler
-from repro.simcuda.device import TESLA_C2050
 
-#: Canonical overcommit mix: the CLI's default memory-heavy MM-L/BS-L
-#: alternation, enough jobs to oversubscribe a C2050 and swap.
-JOB_COUNT = 8
-VGPUS = 4
-#: Tracing must cost less than this factor in events/sec.  Measured
-#: ~1.3x on this deliberately event-dense mix (every call emits
-#: CallBegin/CallEnd/PhaseBreakdown and runs span accounting, at ~2 us
-#: of pure-Python event construction each while the per-call simulated
-#: work is tiny); the recorded JSON keeps the exact ratio as the
-#: baseline for the ROADMAP's 10x-throughput item, and the bound here
-#: only guards against regressions, with slack for CI wall-clock jitter.
 MAX_TRACING_OVERHEAD = 1.6
 REPEATS = 3
 
-#: PR 6 pinned simulated results + recorded events/sec + the ratchet.
-BASELINE_PATH = pathlib.Path(__file__).with_name("simspeed_baseline.json")
+#: One full measurement shared by both gate tests (either may run
+#: standalone; whichever runs first pays for the measurement).
+_CACHE = {}
 
 
-def _run(tracing: bool):
-    profiler = SimProfiler()
-    jobs = _parse_jobs([str(JOB_COUNT)], 0.0)
-    config = RuntimeConfig(vgpus_per_device=VGPUS, tracing=tracing)
-    collector = ObsCollector() if tracing else None
-    result = run_node_batch(jobs, [TESLA_C2050], config, label="simspeed",
-                            collector=collector, profiler=profiler)
-    assert result.errors == 0
-    return result, profiler.report()
+def _measurement(once):
+    def get():
+        if "m" not in _CACHE:
+            _CACHE["m"] = simspeed.measure(REPEATS)
+        return _CACHE["m"]
+
+    return once(get)
 
 
-def _best(tracing: bool):
-    """Best (fastest) of REPEATS runs; sim results are deterministic, so
-    only the wall-clock figures differ between repeats."""
-    runs = [_run(tracing) for _ in range(REPEATS)]
-    result = runs[0][0]
-    report = max((rep for _, rep in runs), key=lambda r: r["events_per_second"])
-    return result, report
+def test_stock_identity_tracing_and_ratchet(once):
+    m = _measurement(once)
+    res_off, rep_off = m["stock"]["off"]
+    res_on, rep_on = m["stock"]["on"]
 
-
-def test_simspeed_baseline_and_tracing_overhead(once):
-    def experiment():
-        return {"off": _best(tracing=False), "on": _best(tracing=True)}
-
-    results = once(experiment)
-    (res_off, rep_off) = results["off"]
-    (res_on, rep_on) = results["on"]
-
-    # Sim-time identity against the pinned PR 6 baseline: the kernel
-    # rework must not move a single simulated timestamp.
-    baseline = json.loads(BASELINE_PATH.read_text())
+    # Sim-time identity against the pinned baseline: no rework may move
+    # a single simulated timestamp.
+    baseline = simspeed.load_baseline()
     assert res_off.total_time == baseline["sim_total_time"], (
         f"simulated total time diverged from the pinned baseline: "
         f"{res_off.total_time!r} != {baseline['sim_total_time']!r}"
@@ -114,67 +88,118 @@ def test_simspeed_baseline_and_tracing_overhead(once):
     assert rep_on["events"] == rep_off["events"]
     assert rep_on["sim_seconds"] == rep_off["sim_seconds"]
 
-    # Throughput ratchet against the recorded baseline figure.
+    # Machine-pinned throughput ratchet; the message prints old -> new
+    # so a CI failure shows the regression magnitude at a glance.
     speedup = rep_off["events_per_second"] / baseline["events_per_second"]
     assert speedup >= baseline["min_speedup"], (
-        f"events/sec regressed: {rep_off['events_per_second']:.0f} is "
-        f"{speedup:.2f}x the recorded baseline "
-        f"{baseline['events_per_second']:.0f} "
-        f"(ratchet {baseline['min_speedup']}x)"
+        f"events/sec regressed: baseline "
+        f"{baseline['events_per_second']:.0f} -> measured "
+        f"{rep_off['events_per_second']:.0f} ({speedup:.2f}x, ratchet "
+        f"{baseline['min_speedup']}x)"
     )
 
     overhead = rep_off["events_per_second"] / rep_on["events_per_second"]
-    print(
-        f"\n== simulator speed: {JOB_COUNT}-job overcommit mix, "
-        f"{VGPUS} vGPUs ==\n"
-        + format_table(
-            ["tracing", "events", "events/s", "sim s / wall s",
-             "queue mean", "queue peak"],
-            [
-                [
-                    name,
-                    str(rep["events"]),
-                    f"{rep['events_per_second']:.0f}",
-                    f"{rep['sim_seconds_per_wall_second']:.1f}",
-                    f"{rep['queue_depth_mean']:.1f}",
-                    str(rep["queue_depth_peak"]),
-                ]
-                for name, rep in (("off", rep_off), ("on", rep_on))
-            ],
-        )
-        + f"\ntracing overhead: {overhead:.3f}x"
-        + f"\nspeedup vs recorded baseline: {speedup:.3f}x"
-        + f" (ratchet {baseline['min_speedup']}x)\nhotspots (untraced):\n"
-        + format_table(
-            ["handler", "events"],
-            [[h["handler"], str(h["events"])] for h in rep_off["hotspots"]],
-        )
-    )
-
     assert overhead <= MAX_TRACING_OVERHEAD, (
         f"tracing costs {overhead:.2f}x in events/sec "
         f"(bound {MAX_TRACING_OVERHEAD}x)"
     )
 
+
+def test_macro_identity_and_speedup(once):
+    m = _measurement(once)
+    res_stock, rep_stock = m["stock"]["off"]
+    res_macro, rep_macro = m["macro"]["off"]
+    res_macro_tr, rep_macro_tr = m["macro"]["on"]
+
+    # Macro-stepping is an execution strategy, not a model change: the
+    # simulated outcome is bit-identical to stock.
+    assert res_macro.total_time == res_stock.total_time
+    assert list(res_macro.job_times) == list(res_stock.job_times)
+    assert res_macro.stats == res_stock.stats
+
+    # ... and it applies identically under tracing (tracing must never
+    # observe a different schedule).
+    assert res_macro_tr.total_time == res_macro.total_time
+    assert res_macro_tr.job_times == res_macro.job_times
+    assert rep_macro_tr["events"] == rep_macro["events"]
+
+    _write_bench(m)
+
+    baseline = simspeed.load_baseline()
+    if not m["macro_enabled"]:
+        pytest.skip("macro-step disabled via REPRO_MACRO_STEP=0: "
+                    "identity verified, speedup gate not applicable")
+
+    # Fewer heap events is the mechanism; assert it holds.
+    assert rep_macro["events"] < rep_stock["events"]
+
+    # Machine-independent gate: same-run sim-rate ratio.
+    ratio = (rep_macro["sim_seconds_per_wall_second"]
+             / rep_stock["sim_seconds_per_wall_second"])
+    assert ratio >= baseline["min_macro_speedup"], (
+        f"macro-step speedup regressed: stock "
+        f"{rep_stock['sim_seconds_per_wall_second']:.0f} -> macro "
+        f"{rep_macro['sim_seconds_per_wall_second']:.0f} sim-s/wall-s "
+        f"({ratio:.2f}x, gate {baseline['min_macro_speedup']}x)"
+    )
+
+
+def _write_bench(m):
+    res_stock, rep_stock = m["stock"]["off"]
+    _, rep_stock_tr = m["stock"]["on"]
+    _, rep_macro = m["macro"]["off"]
+    _, rep_macro_tr = m["macro"]["on"]
+    baseline = simspeed.load_baseline()
+    overhead = (rep_stock["events_per_second"]
+                / rep_stock_tr["events_per_second"])
+    ratio = (rep_macro["sim_seconds_per_wall_second"]
+             / rep_stock["sim_seconds_per_wall_second"])
+
+    print("\n== simulator speed: "
+          f"{simspeed.JOB_COUNT}-job overcommit mix, {simspeed.VGPUS} "
+          f"vGPUs (best of {REPEATS}) ==\n"
+          + simspeed.scorecard(m, baseline)
+          + f"\ntracing overhead (stock): {overhead:.3f}x")
+
     with open("BENCH_simspeed.json", "w") as fh:
         json.dump(
             {
                 "workload": {
-                    "jobs": JOB_COUNT,
-                    "vgpus": VGPUS,
-                    "gpu": TESLA_C2050.name,
+                    "jobs": simspeed.JOB_COUNT,
+                    "vgpus": simspeed.VGPUS,
                     "repeats": REPEATS,
                 },
-                "tracing_off": rep_off,
-                "tracing_on": rep_on,
+                "macro_enabled": m["macro_enabled"],
+                # stock figures keep their historical keys so the CI
+                # baseline-candidate step and older tooling still read
+                # them.
+                "tracing_off": rep_stock,
+                "tracing_on": rep_stock_tr,
+                "macro_off": rep_macro,
+                "macro_on": rep_macro_tr,
                 "tracing_overhead_ratio": overhead,
-                "sim_time_identical": res_on.total_time == res_off.total_time,
+                "macro_sim_rate_speedup": ratio,
                 "baseline_events_per_second": baseline["events_per_second"],
-                "speedup_vs_baseline": speedup,
+                "speedup_vs_baseline": (
+                    rep_stock["events_per_second"]
+                    / baseline["events_per_second"]
+                ),
                 "min_speedup": baseline["min_speedup"],
+                "min_macro_speedup": baseline["min_macro_speedup"],
                 "sim_time_matches_pinned_baseline": True,
             },
             fh,
             indent=2,
         )
         fh.write("\n")
+
+    # The SimProfiler hotspot artifact CI uploads: where the remaining
+    # wall time goes, per execution mode.
+    with open("BENCH_simspeed_hotspots.txt", "w") as fh:
+        for mode, rep in (("stock", rep_stock), ("macro", rep_macro)):
+            fh.write(f"hotspots ({mode}, untraced):\n")
+            fh.write(format_table(
+                ["handler", "events"],
+                [[h["handler"], str(h["events"])] for h in rep["hotspots"]],
+            ))
+            fh.write("\n\n")

@@ -28,6 +28,7 @@ CI gates on every run.
 import json
 
 from repro.experiments.report import format_table
+from repro.sim import SimProfiler
 from repro.workloads.trace_replay import replay_trace, synthetic_trace
 
 #: The bake-off workload: moderate sustained contention (offered load
@@ -39,7 +40,7 @@ ARRIVAL_RATE = 8.0
 NODES = 8
 GPUS_PER_NODE = 2
 
-POLICIES = ("fcfs", "wfq", "locality", "sjf_est", "hrrn", "fairshare")
+POLICIES = ("fcfs", "wfq", "locality", "sjf_est", "hrrn", "fairshare", "lottery")
 
 SMOKE_JOBS = 200
 SMOKE_NODES = 4
@@ -119,6 +120,74 @@ def test_trace_policy_bakeoff(once):
             indent=2,
             sort_keys=True,
         )
+        fh.write("\n")
+
+
+#: Cluster-scale slice: the same synthetic shape spread over a 32-node
+#: (64-GPU) cluster — large enough that simulator throughput, not just
+#: policy quality, becomes the story.  Records wall time and events/sec
+#: (via SimProfiler) alongside the sim-time metrics.
+SCALE_NODES = 32
+SCALE_JOBS = 1000
+SCALE_ARRIVAL = 16.0
+
+
+def run_scale():
+    import time
+
+    trace = synthetic_trace(
+        SCALE_JOBS, seed=SEED, arrival_rate_per_s=SCALE_ARRIVAL
+    )
+    profiler = SimProfiler()
+    t0 = time.perf_counter()
+    res = replay_trace(
+        trace,
+        nodes=SCALE_NODES,
+        gpus_per_node=GPUS_PER_NODE,
+        policy="fcfs",
+        profiler=profiler,
+    )
+    wall = time.perf_counter() - t0
+    return res, profiler.report(), wall
+
+
+def test_trace_scale_32_nodes(once):
+    res, report, wall = once(run_scale)
+    m = res.metrics()
+    assert m["errors"] == 0
+    assert m["completed"] == SCALE_JOBS
+    assert report["events"] > 0
+
+    print(
+        f"\n== 32-node scale slice: {SCALE_JOBS} jobs, "
+        f"{SCALE_NODES}x{GPUS_PER_NODE} GPUs ==\n"
+        f"makespan {m['makespan_s']:.1f} sim-s in {wall:.2f} wall-s | "
+        f"{report['events']} events @ "
+        f"{report['events_per_second']:.0f} events/s | "
+        f"{report['sim_seconds_per_wall_second']:.0f} sim-s/wall-s"
+    )
+
+    # Merge into the bake-off's BENCH file (this test runs after it in
+    # file order; standalone runs create the file fresh).
+    try:
+        with open("BENCH_trace.json") as fh:
+            bench = json.load(fh)
+    except (OSError, ValueError):
+        bench = {}
+    bench["scale_32_nodes"] = {
+        "nodes": SCALE_NODES,
+        "gpus_per_node": GPUS_PER_NODE,
+        "jobs": SCALE_JOBS,
+        "arrival_rate_per_s": SCALE_ARRIVAL,
+        "policy": "fcfs",
+        "wall_seconds": wall,
+        "events": report["events"],
+        "events_per_second": report["events_per_second"],
+        "sim_seconds_per_wall_second": report["sim_seconds_per_wall_second"],
+        "metrics": m,
+    }
+    with open("BENCH_trace.json", "w") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
 

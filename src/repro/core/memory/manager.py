@@ -431,10 +431,17 @@ class MemoryManager:
             # first, before _ensure_resident may pressure other tenants.
             with _span_phase(ctx, "eviction_stall"):
                 yield from self._enforce_tenant_quota(ctx, ptes)
-        yield from self._ensure_resident(ctx, ptes)
+        # Steady-state guard: each helper below is a strict no-op when its
+        # precondition holds (it would yield nothing and mutate nothing),
+        # so skipping it changes neither timestamps nor event order — it
+        # only avoids spinning up generator frames on the hottest path.
+        if not all(p.is_allocated for p in ptes):
+            yield from self._ensure_resident(ctx, ptes)
         with _span_phase(ctx, "fault_in"):
-            yield from self._perform_deferred_transfers(ctx, ptes)
-            yield from self._patch_nested_parents(ctx, ptes)
+            if any(p.to_copy_2dev for p in ptes):
+                yield from self._perform_deferred_transfers(ctx, ptes)
+            if self.nested:
+                yield from self._patch_nested_parents(ctx, ptes)
             if self.config.overlap_transfers:
                 # Kernels bypass the copy stream; make every staged
                 # transfer visible before execution (the one sync point
@@ -1260,6 +1267,11 @@ class MemoryManager:
             if pte.swap_ptr is not None:
                 self.swap.release(pte.swap_ptr)
                 pte.swap_ptr = None
+                # The per-entry device frees above yield, so a monitor
+                # tick can sample between entries: advance the epoch so
+                # memoized swap gauges see this release immediately
+                # (drop_context's bump only lands after the loop).
+                self.page_table.epoch += 1
             self.nested.pop(pte.virtual_ptr, None)
         ctx.cache_vgpu = None
         self.page_table.drop_context(ctx)

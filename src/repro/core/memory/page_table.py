@@ -22,18 +22,30 @@ As the paper notes, "page" is a slight misnomer: allocations are not
 carved into fixed-size pages — each entry covers a whole allocation.
 That coarseness is optionally refined by *chunking*
 (``RuntimeConfig.swap_chunk_bytes``): a large entry is split into
-fixed-size :class:`Chunk` slices, each obeying the Figure 4 state
-machine individually, so a partially written buffer stages/faults/writes
-back only the chunks that actually hold (or dirtied) data.  The entry
-keeps one device allocation — chunks refine *transfer* granularity, not
-device placement — and its flags become the OR over its chunks.
+fixed-size slices, each obeying the Figure 4 state machine individually,
+so a partially written buffer stages/faults/writes back only the chunks
+that actually hold (or dirtied) data.  The entry keeps one device
+allocation — chunks refine *transfer* granularity, not device placement —
+and its flags become the OR over its chunks.
+
+Chunk state is **interned**: instead of one Python object per chunk
+(hundreds of bytes each, tens of thousands of objects for a multi-GiB
+entry), an entry holds three packed bit-vectors — ``valid`` /
+``to_copy_2dev`` / ``to_copy_2swap``, bit *i* describing chunk *i* —
+stored as arbitrary-precision integers (one machine word per 30–64
+chunks, no numpy dependency).  Range updates are single mask operations
+and run coalescing (:meth:`PageTableEntry.fault_runs` and friends) is a
+word-at-a-time scan over set-bit spans rather than a per-chunk Python
+loop.  The :attr:`PageTableEntry.chunks` property materializes read-only
+:class:`Chunk` snapshots for introspection and tests; mutating a
+snapshot does not write through to the entry.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.errors import RuntimeApiError, RuntimeErrorCode
 
@@ -52,6 +64,12 @@ _LEGAL_STATES = {
     (True, False, True),    # resident, device copy is newer (kernel wrote)
 }
 
+try:  # Python >= 3.10
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
+
 
 class EntryType(enum.Enum):
     """Kind of allocation behind the entry (paper: ``entry_t type``)."""
@@ -64,7 +82,7 @@ _entry_seq = itertools.count(1)
 
 
 class Chunk:
-    """One fixed-size slice of a chunked allocation (demand-paging unit).
+    """Read-only snapshot of one fixed-size slice of a chunked allocation.
 
     ``valid``
         the chunk holds application data somewhere (swap or device);
@@ -72,6 +90,10 @@ class Chunk:
     ``to_copy_2dev`` / ``to_copy_2swap``
         the Figure 4 flags, per chunk: at most one may be set, and an
         invalid chunk carries neither.
+
+    The live state lives in the entry's packed bit-vectors; ``chunks``
+    materializes these snapshots on demand.  Writing to a snapshot does
+    not write through.
     """
 
     __slots__ = ("offset", "size", "valid", "to_copy_2dev", "to_copy_2swap")
@@ -109,7 +131,11 @@ class PageTableEntry:
         "referenced",
         "seq",
         "prefetched",
-        "chunks",
+        "_chunk_bytes",
+        "_nchunks",
+        "_valid_bm",
+        "_dev_bm",
+        "_swap_bm",
         "device_id",
         "_table",
     )
@@ -144,8 +170,13 @@ class PageTableEntry:
         #: Set by the overlap engine when a CPU-phase prefetch staged this
         #: entry; the next launch referencing it counts a prefetch hit.
         self.prefetched = False
-        #: Demand-paging chunks (None = whole-entry granularity).
-        self.chunks: Optional[List[Chunk]] = None
+        #: Demand-paging granularity (0 = whole-entry) and the packed
+        #: per-chunk state: bit i of each bit-vector is chunk i.
+        self._chunk_bytes = 0
+        self._nchunks = 0
+        self._valid_bm = 0
+        self._dev_bm = 0
+        self._swap_bm = 0
         #: Device holding the current device allocation (None while not
         #: resident).  Per-device residency accounting for the
         #: transfer-cost model (§4.4 locality-aware binding).
@@ -163,7 +194,27 @@ class PageTableEntry:
 
     @property
     def chunked(self) -> bool:
-        return self.chunks is not None
+        return self._chunk_bytes > 0
+
+    @property
+    def chunks(self) -> Optional[List[Chunk]]:
+        """Materialized snapshot of the per-chunk state (None when
+        unchunked).  For introspection/tests only: mutations to the
+        snapshot objects do not write through to the bit-vectors."""
+        cb = self._chunk_bytes
+        if cb == 0:
+            return None
+        out: List[Chunk] = []
+        valid, dev, swap = self._valid_bm, self._dev_bm, self._swap_bm
+        for i in range(self._nchunks):
+            offset = i * cb
+            c = Chunk(offset, min(cb, self.size - offset))
+            bit = 1 << i
+            c.valid = bool(valid & bit)
+            c.to_copy_2dev = bool(dev & bit)
+            c.to_copy_2swap = bool(swap & bit)
+            out.append(c)
+        return out
 
     def _bump(self) -> None:
         table = self._table
@@ -175,23 +226,21 @@ class PageTableEntry:
             raise AssertionError(f"allocated PTE without device pointer: {self!r}")
         if not self.is_allocated and self.device_ptr is not None:
             raise AssertionError(f"unallocated PTE with device pointer: {self!r}")
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             if self.flags not in _LEGAL_STATES:
                 raise AssertionError(f"illegal PTE state {self.flags} for {self!r}")
             return
         # Chunked entry: every chunk individually obeys Figure 4, and the
         # entry flags are the OR over the chunks (so a mixed aggregate —
         # one chunk host-newer, another device-newer — is legal).
-        for c in self.chunks:
-            if c.to_copy_2dev and c.to_copy_2swap:
-                raise AssertionError(f"illegal chunk state {c!r} in {self!r}")
-            if not c.valid and (c.to_copy_2dev or c.to_copy_2swap):
-                raise AssertionError(f"invalid chunk with data flags {c!r} in {self!r}")
-            if c.to_copy_2swap and not self.is_allocated:
-                raise AssertionError(f"device-dirty chunk without device memory {c!r}")
-        if self.to_copy_2dev != any(c.to_copy_2dev for c in self.chunks) or (
-            self.to_copy_2swap != any(c.to_copy_2swap for c in self.chunks)
-        ):
+        valid, dev, swap = self._valid_bm, self._dev_bm, self._swap_bm
+        if dev & swap:
+            raise AssertionError(f"illegal chunk state (2dev & 2swap) in {self!r}")
+        if (dev | swap) & ~valid:
+            raise AssertionError(f"invalid chunk with data flags in {self!r}")
+        if swap and not self.is_allocated:
+            raise AssertionError(f"device-dirty chunk without device memory {self!r}")
+        if self.to_copy_2dev != (dev != 0) or self.to_copy_2swap != (swap != 0):
             raise AssertionError(f"entry flags out of sync with chunks: {self!r}")
 
     def on_host_write(self) -> None:
@@ -244,12 +293,10 @@ class PageTableEntry:
         self.is_allocated = False
         self.device_ptr = None
         self.device_id = None
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.to_copy_2dev = True
         else:
-            for c in self.chunks:
-                if c.valid:
-                    c.to_copy_2dev = True
+            self._dev_bm |= self._valid_bm
             self._sync_flags()
         self.check_invariants()
 
@@ -278,46 +325,71 @@ class PageTableEntry:
         assert self.swap_ptr is None and self.flags == (False, False, False)
         if chunk_bytes <= 0 or self.size <= chunk_bytes:
             return
-        self.chunks = [
-            Chunk(offset, min(chunk_bytes, self.size - offset))
-            for offset in range(0, self.size, chunk_bytes)
-        ]
+        self._chunk_bytes = chunk_bytes
+        self._nchunks = -(-self.size // chunk_bytes)
 
     def _sync_flags(self) -> None:
-        assert self.chunks is not None
-        self.to_copy_2dev = any(c.to_copy_2dev for c in self.chunks)
-        self.to_copy_2swap = any(c.to_copy_2swap for c in self.chunks)
+        self.to_copy_2dev = self._dev_bm != 0
+        self.to_copy_2swap = self._swap_bm != 0
 
-    @staticmethod
-    def _coalesce(chunks: Iterable[Chunk]) -> List[Tuple[int, int]]:
-        """Merge adjacent chunks into contiguous (offset, nbytes) runs."""
+    def _runs_from(self, bm: int) -> List[Tuple[int, int]]:
+        """Coalesce a bit-vector's set-bit spans into contiguous
+        (offset, nbytes) runs — word-at-a-time: each iteration consumes
+        one whole span via lowest-set-bit / trailing-ones arithmetic."""
         runs: List[Tuple[int, int]] = []
-        for c in chunks:
-            if runs and runs[-1][0] + runs[-1][1] == c.offset:
-                runs[-1] = (runs[-1][0], runs[-1][1] + c.size)
-            else:
-                runs.append((c.offset, c.size))
+        cb = self._chunk_bytes
+        size = self.size
+        x = bm
+        while x:
+            start = (x & -x).bit_length() - 1
+            t = x >> start
+            span = ((t + 1) & ~t).bit_length() - 1  # trailing ones
+            offset = start * cb
+            end = offset + span * cb
+            if end > size:
+                end = size
+            runs.append((offset, end - offset))
+            x = (t >> span) << (start + span)
         return runs
 
-    def _chunks_in(self, run: Tuple[int, int]) -> List[Chunk]:
+    def _mask_for_run(self, run: Tuple[int, int]) -> int:
+        """Bit mask of the chunks whose offset falls inside ``run``."""
         offset, nbytes = run
-        assert self.chunks is not None
-        return [c for c in self.chunks if offset <= c.offset < offset + nbytes]
+        cb = self._chunk_bytes
+        lo = (offset + cb - 1) // cb
+        hi = (offset + nbytes + cb - 1) // cb
+        if hi > self._nchunks:
+            hi = self._nchunks
+        if hi <= lo:
+            return 0
+        return ((1 << (hi - lo)) - 1) << lo
+
+    def _mask_bytes(self, bm: int) -> int:
+        """Total bytes covered by a bit-vector's set chunks (the last
+        chunk may be short)."""
+        cb = self._chunk_bytes
+        total = _popcount(bm) * cb
+        if (bm >> (self._nchunks - 1)) & 1:
+            total -= self._nchunks * cb - self.size  # short tail
+        return total
 
     def host_write(self, nbytes: Optional[int] = None) -> None:
         """copy_HD intercepted for ``[0, nbytes)``: the swap copy of the
         covered range is now authoritative.  Whole-entry granularity
         ignores the extent (the paper's behavior)."""
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.on_host_write()
             return
         self._bump()
         covered = self.size if nbytes is None else min(nbytes, self.size)
-        for c in self.chunks:
-            if c.offset < covered:
-                c.valid = True
-                c.to_copy_2dev = True
-                c.to_copy_2swap = False
+        cb = self._chunk_bytes
+        k = (covered + cb - 1) // cb
+        if k > self._nchunks:
+            k = self._nchunks
+        mask = (1 << k) - 1
+        self._valid_bm |= mask
+        self._dev_bm |= mask
+        self._swap_bm &= ~mask
         self._sync_flags()
         self.check_invariants()
 
@@ -328,25 +400,23 @@ class PageTableEntry:
         there, so the *valid* chunks become device-dirty; a buffer with
         no valid chunk is an output buffer the kernel populates entirely.
         """
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.on_kernel_write(now)
             return
         self._bump()
         assert self.is_allocated and not self.to_copy_2dev
-        if not any(c.valid for c in self.chunks):
-            for c in self.chunks:
-                c.valid = True
-                c.to_copy_2swap = True
+        if self._valid_bm == 0:
+            full = (1 << self._nchunks) - 1
+            self._valid_bm = full
+            self._swap_bm = full
         else:
-            for c in self.chunks:
-                if c.valid:
-                    c.to_copy_2swap = True
+            self._swap_bm |= self._valid_bm
         self._touch(now)
         self._sync_flags()
         self.check_invariants()
 
     def kernel_read(self, now: float) -> None:
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.on_kernel_read(now)
             return
         assert self.is_allocated and not self.to_copy_2dev
@@ -357,56 +427,51 @@ class PageTableEntry:
         """Contiguous (offset, nbytes) H2D transfers needed before the
         device copy is current.  Whole-entry: one run covering the
         allocation, or none."""
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             return [(0, self.size)] if self.to_copy_2dev else []
-        return self._coalesce(c for c in self.chunks if c.to_copy_2dev)
+        return self._runs_from(self._dev_bm)
 
     def complete_fault(self, run: Tuple[int, int]) -> None:
         """One fault run's bulk transfer landed on the device."""
         assert self.is_allocated
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.on_copied_to_device()
             return
         self._bump()
-        for c in self._chunks_in(run):
-            c.to_copy_2dev = False
+        self._dev_bm &= ~self._mask_for_run(run)
         self._sync_flags()
         self.check_invariants()
 
     def writeback_runs(self) -> List[Tuple[int, int]]:
         """Contiguous (offset, nbytes) D2H write-backs of device-dirty
         data (eviction, checkpoint, device→host reads)."""
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             return [(0, self.size)] if self.to_copy_2swap else []
-        return self._coalesce(c for c in self.chunks if c.to_copy_2swap)
+        return self._runs_from(self._swap_bm)
 
     def complete_writeback(self, run: Tuple[int, int]) -> None:
         """One write-back run landed in the swap area."""
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.on_copied_to_swap()
             return
         self._bump()
-        for c in self._chunks_in(run):
-            c.to_copy_2swap = False
+        self._swap_bm &= ~self._mask_for_run(run)
         self._sync_flags()
         self.check_invariants()
 
     def device_current_runs(self) -> List[Tuple[int, int]]:
         """Runs whose device copy is current (peer-to-peer migration)."""
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             return [(0, self.size)] if not self.to_copy_2dev else []
-        return self._coalesce(
-            c for c in self.chunks if c.valid and not c.to_copy_2dev
-        )
+        return self._runs_from(self._valid_bm & ~self._dev_bm)
 
     def discard_device_dirty(self) -> None:
         """Drop device-dirty state without writing back (cudaFree)."""
         self._bump()
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.to_copy_2swap = False
             return
-        for c in self.chunks:
-            c.to_copy_2swap = False
+        self._swap_bm = 0
         self._sync_flags()
 
     def drop_device_state(self) -> None:
@@ -416,30 +481,32 @@ class PageTableEntry:
         self.is_allocated = False
         self.device_ptr = None
         self.device_id = None
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             self.to_copy_2swap = False
             self.to_copy_2dev = True
         else:
-            for c in self.chunks:
-                c.to_copy_2swap = False
-                if c.valid:
-                    c.to_copy_2dev = True
+            self._swap_bm = 0
+            self._dev_bm |= self._valid_bm
             self._sync_flags()
         self.check_invariants()
 
     def fault_bytes(self) -> int:
         """Bytes a launch must transfer before this entry is current."""
-        return sum(n for _off, n in self.fault_runs())
+        if self._chunk_bytes == 0:
+            return self.size if self.to_copy_2dev else 0
+        return self._mask_bytes(self._dev_bm)
 
     def dirty_bytes(self) -> int:
         """Bytes an eviction of this entry would write back."""
-        return sum(n for _off, n in self.writeback_runs())
+        if self._chunk_bytes == 0:
+            return self.size if self.to_copy_2swap else 0
+        return self._mask_bytes(self._swap_bm)
 
     def valid_bytes(self) -> int:
         """Bytes of application data behind the entry."""
-        if self.chunks is None:
+        if self._chunk_bytes == 0:
             return self.size
-        return sum(c.size for c in self.chunks if c.valid)
+        return self._mask_bytes(self._valid_bm)
 
     def __repr__(self) -> str:
         return (

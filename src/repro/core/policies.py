@@ -39,6 +39,14 @@ the history-driven trio the trace-replay bake-off compares
     Unweighted fair share across users with a group level above them:
     the waiter whose group, then user, has consumed the least GPU time
     goes first (max-min on usage, the classic HPC fair-share tree).
+``lottery``
+    Ticket-weighted random draw (Waldspurger & Weihl, OSDI '94): each
+    waiter holds tickets equal to its tenant's contract weight and the
+    winner is drawn proportionally.  Probabilistically fair without any
+    usage ledger, and starvation-free by construction.  Draws come from
+    a named :class:`~repro.sim.rng.RngStreams` stream, so runs are
+    reproducible and adding other randomness consumers does not perturb
+    the schedule.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ __all__ = [
     "EstimatorSjfPolicy",
     "HrrnPolicy",
     "FairSharePolicy",
+    "LotteryPolicy",
     "POLICY_NAMES",
     "make_policy",
 ]
@@ -443,6 +452,55 @@ class FairSharePolicy(_BasePolicy):
         return min(waiting, key=key)
 
 
+class LotteryPolicy(_BasePolicy):
+    """Ticket-weighted lottery scheduling (proportional-share).
+
+    Every waiting context holds tickets equal to its tenant's contract
+    ``weight`` (tenantless contexts hold 1.0), and the next context to
+    serve is drawn with probability proportional to its tickets.  The
+    expected GPU-time split matches ``wfq``'s deterministic one, but
+    with no virtual-time ledger and no possibility of starvation: any
+    waiter with nonzero tickets eventually wins.
+
+    Draws are pulled from the ``"lottery"`` stream of an
+    :class:`~repro.sim.rng.RngStreams` tree, so the schedule is a pure
+    function of the seed — two runs with the same seed and workload
+    make identical picks, and other randomness consumers (trace
+    generators, failure injectors) cannot perturb it.
+    """
+
+    name = "lottery"
+
+    def __init__(self, seed: int = 0) -> None:
+        from repro.sim.rng import RngStreams
+
+        #: Replaceable by the harness/runtime (wired like the other
+        #: policy hooks): any object with ``random() -> [0, 1)``.
+        self.rng = RngStreams(seed).stream("lottery")
+
+    @staticmethod
+    def _tickets(ctx: Context) -> float:
+        tenant = getattr(ctx, "tenant", None)
+        if tenant is None:
+            return 1.0
+        return tenant.weight
+
+    def pick_next(self, waiting: Sequence[Context]) -> Optional[Context]:
+        if not waiting:
+            return None
+        if len(waiting) == 1:
+            return waiting[0]
+        tickets = [self._tickets(c) for c in waiting]
+        total = sum(tickets)
+        draw = self.rng.random() * total
+        acc = 0.0
+        for ctx, t in zip(waiting, tickets):
+            acc += t
+            if draw < acc:
+                return ctx
+        return waiting[-1]  # draw == total edge (fp roundup)
+
+
 _POLICIES = {
     p.name: p
     for p in (
@@ -455,6 +513,7 @@ _POLICIES = {
         EstimatorSjfPolicy,
         HrrnPolicy,
         FairSharePolicy,
+        LotteryPolicy,
     )
 }
 

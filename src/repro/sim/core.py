@@ -53,6 +53,8 @@ __all__ = [
     "AllOf",
     "SimulationError",
     "PENDING",
+    "complete_now",
+    "granted",
 ]
 
 #: Sentinel for an event value that has not been set yet.
@@ -250,6 +252,34 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+def complete_now(event: "Event", value: Any = None) -> "Event":
+    """Mark a fresh event *processed* with ``value``, bypassing the heap.
+
+    The macro-step fast path for grants that succeed immediately (a free
+    lock, an uncontended resource slot, a non-empty store): a process
+    that yields a processed event continues synchronously in
+    :meth:`Process._resume`'s inline loop — zero heap traffic, same
+    simulated timestamp.  Only valid on an event nobody has seen yet.
+    """
+    event._ok = True
+    event._value = value
+    event.callbacks = None
+    return event
+
+
+def granted(env: "Environment") -> "Event":
+    """A processed, value-less event for macro-mode immediate grants.
+
+    Yielding it continues synchronously; it is immutable once processed,
+    so one shared instance per environment serves every valueless grant
+    (uncontended locks and semaphores) without an allocation.
+    """
+    event = env._granted
+    if event is None:
+        event = env._granted = complete_now(Event(env))
+    return event
+
+
 class Waiter(Event):
     """An event representing a queued waiter of a sync primitive.
 
@@ -409,6 +439,31 @@ class Process(Event):
                     # Already done: loop immediately with its outcome.
                     event = target
                     continue
+                if env.macro_step and type(target) is Timeout and not cbs:
+                    # Macro step: if this timeout is the next live event in
+                    # the whole simulation (and inside the run horizon),
+                    # the run loop's very next action would be to pop it
+                    # and resume us.  Skip the detour: pop it here, advance
+                    # the clock to its exact fire time, and keep running
+                    # the generator.  Because the *heap head* is the
+                    # horizon check, ordering is identical to stock — any
+                    # event scheduled at or before the timeout (including
+                    # same-time, earlier-sequence events) makes the check
+                    # fail and falls back to the cooperative path.
+                    queue = env._queue
+                    while queue and queue[0][3]._cancelled:
+                        heapq.heappop(queue)
+                        env._ncancelled -= 1
+                    if queue:
+                        head = queue[0]
+                        if head[3] is target and head[0] <= env._greedy_limit:
+                            heapq.heappop(queue)
+                            env._now = head[0]
+                            target._ok = True
+                            target._value = target._pending_value
+                            target.callbacks = None
+                            event = target
+                            continue
                 cbs.append(self._resume_cb)
                 self._target = target
                 return
@@ -515,6 +570,15 @@ class Environment:
         Starting value of :attr:`now` (default 0.0).
     """
 
+    #: Macro-stepped model execution (set by the node runtime from
+    #: ``RuntimeConfig.macro_step``).  When True, model components elide
+    #: per-step heap events whose ordering cannot be observed — the
+    #: channel's delivery process, uncontended sync-primitive grants —
+    #: and continue synchronously instead.  Simulated timestamps are
+    #: bit-identical either way; only wall-clock cost changes.  A raw
+    #: Environment stays stock (False) unless someone opts in.
+    macro_step = False
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
@@ -522,6 +586,12 @@ class Environment:
         self._active_process: Optional[Process] = None
         #: Cancelled entries buried in the queue (compaction trigger).
         self._ncancelled = 0
+        #: Horizon for greedy (macro-step) timeout consumption: a numeric
+        #: ``run(until=...)`` sets it so an inline resume never advances
+        #: the clock past the requested stop time.
+        self._greedy_limit = float("inf")
+        #: Lazily-created shared grant event (see :func:`granted`).
+        self._granted = None
         #: Optional self-profiler (:class:`repro.sim.profile.SimProfiler`);
         #: when set, the run loop reports every popped event to it.  The
         #: profiler observes wall-clock only and never touches sim time.
@@ -679,6 +749,19 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(f"until={horizon} lies in the past (now={self._now})")
+        # Greedy (macro-step) resumes must not advance the clock past the
+        # requested stop time either.
+        self._greedy_limit = horizon
+        try:
+            self._run_bounded(horizon)
+        finally:
+            self._greedy_limit = float("inf")
+        self._now = horizon
+        return None
+
+    def _run_bounded(self, horizon: float) -> None:
+        queue = self._queue
+        pop = heapq.heappop
         while queue and queue[0][0] <= horizon:
             when, _prio, _seq, event = pop(queue)
             if event._cancelled:
@@ -696,5 +779,3 @@ class Environment:
                 callback(event)
             if not event._ok and not event.defused:
                 raise event._value
-        self._now = horizon
-        return None

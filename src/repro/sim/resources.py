@@ -22,7 +22,7 @@ import itertools
 from collections import deque
 from typing import Any, Deque, List, Optional
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import Environment, Event, SimulationError, complete_now
 
 __all__ = ["Resource", "PriorityResource", "Container", "Store"]
 
@@ -95,7 +95,15 @@ class Resource:
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self.capacity and not self.queue:
             self.users.append(request)
-            request.succeed()
+            env = request.env
+            if env.macro_step and env.peek() > env._now:
+                # The slot is granted synchronously either way (users
+                # already holds the request); with nothing else pending
+                # at this instant, the requester may continue without a
+                # heap round-trip and same-tick ordering stays exact.
+                complete_now(request)
+            else:
+                request.succeed()
         else:
             self.queue.append(request)
             self._sort_queue()
@@ -159,6 +167,16 @@ class Container:
     def put(self, amount: float) -> ContainerEvent:
         if amount < 0:
             raise SimulationError("negative amount")
+        if (
+            self.env.macro_step
+            and not self._putters
+            and not self._getters
+            and self._level + amount <= self.capacity
+            and self.env.peek() > self.env._now
+        ):
+            # No queue to disturb and the deposit fits: apply and go.
+            self._level += amount
+            return complete_now(ContainerEvent(self, amount, self._putters))
         ev = ContainerEvent(self, amount, self._putters)
         self._putters.append(ev)
         self._settle()
@@ -167,6 +185,15 @@ class Container:
     def get(self, amount: float) -> ContainerEvent:
         if amount < 0:
             raise SimulationError("negative amount")
+        if (
+            self.env.macro_step
+            and not self._getters
+            and not self._putters
+            and self._level >= amount
+            and self.env.peek() > self.env._now
+        ):
+            self._level -= amount
+            return complete_now(ContainerEvent(self, amount, self._getters))
         ev = ContainerEvent(self, amount, self._getters)
         self._getters.append(ev)
         self._settle()
@@ -225,12 +252,36 @@ class Store:
         return len(self.items)
 
     def put(self, item: Any) -> StorePut:
+        if (
+            self.env.macro_step
+            and len(self.items) < self.capacity
+            and self.env.peek() > self.env._now
+        ):
+            # Space available: hand the item to the first live getter (or
+            # shelve it) and let the putter continue synchronously.
+            ev = complete_now(StorePut(self, item))
+            getters = self._getters
+            while getters:
+                getter = getters.popleft()
+                if getter._cancelled:
+                    continue
+                getter.succeed(item)
+                return ev
+            self.items.append(item)
+            return ev
         ev = StorePut(self, item)
         self._putters.append(ev)
         self._settle()
         return ev
 
     def get(self) -> StoreGet:
+        if (
+            self.env.macro_step
+            and self.items
+            and not self._putters
+            and self.env.peek() > self.env._now
+        ):
+            return complete_now(StoreGet(self), self.items.popleft())
         ev = StoreGet(self)
         self._getters.append(ev)
         self._settle()

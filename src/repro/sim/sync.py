@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, Optional
 
-from repro.sim.core import Environment, Event, SimulationError, Waiter
+from repro.sim.core import Environment, Event, SimulationError, Waiter, complete_now, granted
 
 __all__ = ["Lock", "Semaphore", "Condition", "FifoQueue"]
 
@@ -50,7 +50,17 @@ class Lock:
     def acquire(self) -> Event:
         if not self._locked:
             self._locked = True
-            ev = Event(self.env)
+            env = self.env
+            if env.macro_step and env.peek() > env._now:
+                # Uncontended grant with nothing else pending at this
+                # instant: stock would pop the grant event next anyway,
+                # so the acquirer may simply continue — no heap event.
+                # (The peek() guard keeps same-tick ordering exact: any
+                # event already scheduled at `now` — including an URGENT
+                # process start — must run before the resumption, as it
+                # would in stock.)
+                return granted(env)
+            ev = Event(env)
             ev.succeed()
         else:
             ev = _waiter(self.env, self._waiters)
@@ -86,7 +96,10 @@ class Semaphore:
     def acquire(self) -> Event:
         if self._value > 0:
             self._value -= 1
-            ev = Event(self.env)
+            env = self.env
+            if env.macro_step and env.peek() > env._now:
+                return granted(env)
+            ev = Event(env)
             ev.succeed()
         else:
             ev = _waiter(self.env, self._waiters)
@@ -182,7 +195,10 @@ class FifoQueue:
 
     def get(self) -> Event:
         if self._items:
-            ev = Event(self.env)
+            env = self.env
+            if env.macro_step and env.peek() > env._now:
+                return complete_now(Event(env), self._items.popleft())
+            ev = Event(env)
             ev.succeed(self._items.popleft())
         else:
             ev = _waiter(self.env, self._getters)

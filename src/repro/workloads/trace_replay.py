@@ -480,6 +480,7 @@ def replay_trace(
     collector: Optional[ObsCollector] = None,
     estimator: Optional[RuntimeEstimator] = None,
     boot_grace_s: float = 5.0,
+    profiler=None,
 ) -> TraceReplayResult:
     """Open-loop replay of ``trace`` against a fresh simulated cluster.
 
@@ -501,7 +502,10 @@ def replay_trace(
     policy learns from history (``sjf_est``/``hrrn``).
 
     Pure function of its inputs: no wall-clock, no global RNG — an
-    identical call returns bit-identical simulated metrics.
+    identical call returns bit-identical simulated metrics.  An optional
+    ``profiler`` (a :class:`~repro.sim.SimProfiler`) attaches to the
+    replay's environment for wall-clock throughput measurement; it
+    observes, never steers.
     """
     trace = sorted(trace, key=lambda j: (j.submit_time, j.job_id))
     if not trace:
@@ -514,6 +518,8 @@ def replay_trace(
     run_config = dataclasses.replace(base, policy=policy)
 
     env = Environment()
+    if profiler is not None:
+        profiler.attach(env)
     cluster = Cluster(env)
     plan = list(node_gpu_types) if node_gpu_types is not None else _node_type_plan(
         trace, nodes
@@ -666,6 +672,8 @@ def replay_trace(
 
     env.process(_arrivals(), name="trace-arrivals")
     env.run()
+    if profiler is not None:
+        profiler.detach()
 
     stats: Dict[str, int] = {}
     for node in cluster.nodes:

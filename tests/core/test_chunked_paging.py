@@ -102,26 +102,41 @@ def test_writeback_then_release_keeps_valid_set():
 
 
 def test_chunk_invariants_rejected():
+    # Corrupt the packed bit-vectors directly (chunk 0 = bit 0): the
+    # invariant checker must reject per-chunk Figure-4 violations.
     pte = _pte(8 * MIB, chunk=4 * MIB)
-    pte.chunks[0].valid = True
-    pte.chunks[0].to_copy_2dev = True
-    pte.chunks[0].to_copy_2swap = True
+    pte._valid_bm = 0b01
+    pte._dev_bm = 0b01
+    pte._swap_bm = 0b01  # both transfer flags at once
+    pte._sync_flags()
     with pytest.raises(AssertionError):
         pte.check_invariants()
-    pte.chunks[0].to_copy_2dev = False
-    pte.chunks[0].to_copy_2swap = False
-    pte.chunks[0].valid = False
-    pte.chunks[0].to_copy_2dev = True  # invalid chunk with a data flag
+    pte._valid_bm = 0b00
+    pte._dev_bm = 0b01  # invalid chunk with a data flag
+    pte._swap_bm = 0b00
+    pte._sync_flags()
     with pytest.raises(AssertionError):
         pte.check_invariants()
 
 
 def test_aggregate_flags_must_match_chunks():
     pte = _pte(8 * MIB, chunk=4 * MIB)
-    pte.chunks[0].valid = True
-    pte.chunks[0].to_copy_2dev = True  # without _sync_flags
+    pte._valid_bm = 0b01
+    pte._dev_bm = 0b01  # without _sync_flags: aggregate stays stale
     with pytest.raises(AssertionError):
         pte.check_invariants()
+
+
+def test_chunk_snapshots_do_not_write_through():
+    """``pte.chunks`` is a materialized view of the interned bit-vector
+    state — mutating a snapshot must not alter the entry."""
+    pte = _pte(8 * MIB, chunk=4 * MIB)
+    pte.host_write(4 * MIB)
+    snap = pte.chunks
+    snap[1].valid = True
+    snap[1].to_copy_2dev = True
+    assert [c.valid for c in pte.chunks] == [True, False]
+    assert pte.fault_runs() == [(0, 4 * MIB)]
 
 
 # ---------------------------------------------------------------------------

@@ -83,6 +83,64 @@ def test_gauge_sampling_mostly_hits_the_memo():
     assert profiler.report()["counters"]["tenant_device_bytes_calls"] == calls
 
 
+def test_swap_bytes_memoized_and_invalidated():
+    h = Harness(config=RuntimeConfig(qos_enabled=True))
+    seen = {}
+
+    def app():
+        fe = Frontend(h.env, h.runtime.listener, name="swapper", tenant="acme")
+        yield from fe.open()
+        kernel = KernelDescriptor(
+            name="s-k", flops=0.1 * TESLA_C2050.effective_gflops * 1e9
+        )
+        handle = yield from fe.register_fat_binary(FatBinary())
+        yield from fe.register_function(handle, kernel)
+        tenant = h.runtime.qos.get("acme")
+        page_table = h.memory.page_table
+        ptr = yield from fe.cuda_malloc(16 * MIB)
+        first = tenant.swap_bytes(page_table)
+        seen["after_malloc"] = first
+        memo = tenant._swap_bytes_memo
+        assert memo is not None and memo[1] == first
+        assert tenant.swap_bytes(page_table) == first
+        seen["same_memo"] = tenant._swap_bytes_memo is memo
+        yield from fe.cuda_free(ptr)
+        seen["after_free"] = tenant.swap_bytes(page_table)
+        yield from fe.cuda_thread_exit()
+
+    h.spawn(app())
+    h.run()
+    assert seen["after_malloc"] == 16 * MIB
+    assert seen["same_memo"]
+    assert seen["after_free"] == 0
+
+
+def test_rollup_memoized_until_counters_move():
+    h = Harness(config=RuntimeConfig(qos_enabled=True))
+    seen = {}
+
+    def checker():
+        yield h.env.timeout(1.0)
+        registry = h.runtime.qos
+        page_table = h.memory.page_table
+        first = registry.rollup(page_table)
+        # quiet node: a second sample with nothing changed reuses the
+        # memoized snapshot object
+        seen["same_object"] = registry.rollup(page_table) is first
+        # perturb a fingerprinted counter: the memo must invalidate
+        registry.get("acme").preemptions += 1
+        second = registry.rollup(page_table)
+        seen["invalidated"] = second is not first
+        seen["tracked"] = second["acme"]["preemptions"] == first["acme"]["preemptions"] + 1
+
+    h.spawn(_tenant_app(h, "app0", "acme"))
+    h.spawn(checker())
+    h.run()
+    assert seen["same_object"]
+    assert seen["invalidated"]
+    assert seen["tracked"]
+
+
 def test_memo_invalidates_when_the_table_changes():
     h = Harness(config=RuntimeConfig(qos_enabled=True))
     seen = {}
